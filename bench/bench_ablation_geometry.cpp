@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation A5: RCA geometry sweep — how the avoided-broadcast fraction
+ * scales with RCA reach (sets x ways x region size), extending the paper's
+ * Figure 9 observation ("one should be able to use half as many sets ...
+ * and still maintain good performance") across a wider range.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cgct;
+using namespace cgct::bench;
+
+int
+main()
+{
+    const RunOptions opts = defaultRunOptions();
+    const SystemConfig base = makeDefaultConfig();
+
+    const struct {
+        unsigned sets;
+        unsigned ways;
+    } geometries[] = {
+        {1024, 2}, {2048, 2}, {4096, 2}, {8192, 2}, {4096, 4},
+    };
+
+    std::printf("Ablation A5: RCA geometry sweep (512B regions; reach = "
+                "entries x 512B)\n\n");
+    std::printf("%-18s |", "benchmark");
+    for (const auto &g : geometries)
+        std::printf("  %4ux%u (%3uK) ", g.sets, g.ways,
+                    g.sets * g.ways * 512 / 1024 / 1024);
+    std::printf("\n");
+    printRule(100);
+
+    for (const auto &profile : standardBenchmarks()) {
+        std::printf("%-18s |", profile.name.c_str());
+        for (const auto &g : geometries) {
+            const RunResult r = simulateOnce(
+                base.withCgct(512, g.sets, g.ways), profile, opts);
+            std::printf("      %6.1f%% ", pct(r.avoidedFraction()));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(reach shown in MB of memory covered; the paper's "
+                "full array covers 8MB, half covers 4MB)\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation A2: RCA replacement favoring empty regions (Section 3.2)
+ * versus plain LRU. The favor-empty policy is what keeps inclusion
+ * flushes (forced cache-line evictions) rare.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cgct;
+using namespace cgct::bench;
+
+int
+main()
+{
+    const RunOptions opts = defaultRunOptions();
+    SystemConfig favor = makeDefaultConfig().withCgct(512);
+    SystemConfig lru = favor;
+    lru.cgct.favorEmptyRegions = false;
+
+    std::printf("Ablation A2: RCA replacement favor-empty vs plain LRU "
+                "(512B regions)\n\n");
+    std::printf("%-18s | %12s %12s | %13s %13s | %9s %9s\n", "benchmark",
+                "flush-favor", "flush-lru", "empty%-favor", "empty%-lru",
+                "miss-f%", "miss-l%");
+    printRule(110);
+
+    for (const auto &profile : standardBenchmarks()) {
+        const RunResult f = simulateOnce(favor, profile, opts);
+        const RunResult l = simulateOnce(lru, profile, opts);
+        const auto empty_frac = [](const RunResult &r) {
+            const double total = static_cast<double>(
+                r.rcaEvictedEmpty + r.rcaEvictedOne + r.rcaEvictedTwo +
+                r.rcaEvictedMore);
+            return total > 0 ? 100.0 * r.rcaEvictedEmpty / total : 0.0;
+        };
+        std::printf("%-18s | %12llu %12llu | %12.1f%% %12.1f%% | %8.2f%% "
+                    "%8.2f%%\n",
+                    profile.name.c_str(),
+                    static_cast<unsigned long long>(f.inclusionWritebacks),
+                    static_cast<unsigned long long>(l.inclusionWritebacks),
+                    empty_frac(f), empty_frac(l), pct(f.l2MissRatio),
+                    pct(l.l2MissRatio));
+    }
+    std::printf("\npaper: favoring empty regions yields 65.1%% empty "
+                "evictions and only ~1.2%% extra cache misses\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 10 reproduction: "Average and peak broadcast traffic for the
+ * baseline and 512B regions" — broadcasts per 100,000 cycles, average
+ * over the run and for the busiest window.
+ *
+ * Paper reference: the highest average drops from ~2,573 to ~1,103
+ * broadcasts per 100K cycles, and the peak from 7,365 to 2,683; both
+ * average and peak are cut to less than half overall.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cgct;
+using namespace cgct::bench;
+
+int
+main()
+{
+    const RunOptions opts = defaultRunOptions();
+    const SystemConfig base = makeDefaultConfig();
+
+    std::printf("Figure 10: broadcasts per 100K cycles, baseline vs "
+                "512B regions\n\n");
+    std::printf("%-18s | %11s %11s | %11s %11s | %7s %7s\n", "benchmark",
+                "base-avg", "cgct-avg", "base-peak", "cgct-peak",
+                "avg-x", "peak-x");
+    printRule();
+
+    double max_base_avg = 0, max_cgct_avg = 0;
+    double max_base_peak = 0, max_cgct_peak = 0;
+    double avg_ratio_sum = 0, peak_ratio_sum = 0;
+    for (const auto &profile : standardBenchmarks()) {
+        const RunResult b = simulateOnce(base, profile, opts);
+        const RunResult c = simulateOnce(base.withCgct(512), profile,
+                                         opts);
+        max_base_avg = std::max(max_base_avg, b.avgBroadcastsPer100k);
+        max_cgct_avg = std::max(max_cgct_avg, c.avgBroadcastsPer100k);
+        max_base_peak = std::max(max_base_peak, b.peakBroadcastsPer100k);
+        max_cgct_peak = std::max(max_cgct_peak, c.peakBroadcastsPer100k);
+        const double avg_ratio =
+            c.avgBroadcastsPer100k / b.avgBroadcastsPer100k;
+        const double peak_ratio =
+            c.peakBroadcastsPer100k / b.peakBroadcastsPer100k;
+        avg_ratio_sum += avg_ratio;
+        peak_ratio_sum += peak_ratio;
+        std::printf("%-18s | %11.0f %11.0f | %11.0f %11.0f | %6.2fx "
+                    "%6.2fx\n",
+                    profile.name.c_str(), b.avgBroadcastsPer100k,
+                    c.avgBroadcastsPer100k, b.peakBroadcastsPer100k,
+                    c.peakBroadcastsPer100k, avg_ratio, peak_ratio);
+    }
+    printRule();
+    const double n = static_cast<double>(standardBenchmarks().size());
+    std::printf("%-18s | %11.0f %11.0f | %11.0f %11.0f | %6.2fx %6.2fx\n",
+                "max / mean-ratio", max_base_avg, max_cgct_avg,
+                max_base_peak, max_cgct_peak, avg_ratio_sum / n,
+                peak_ratio_sum / n);
+    std::printf("\npaper: highest average 2573 -> 1103; peak 7365 -> "
+                "2683; both cut to less than half\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 2 reproduction: "Unnecessary broadcasts in a four-processor
+ * system." For each Table 4 benchmark, run the conventional baseline and
+ * report the fraction of broadcasts an oracle (with perfect knowledge of
+ * other caches) would have avoided, stacked by request category: data
+ * reads/writes (incl. prefetches), write-backs, instruction fetches, and
+ * DCB operations.
+ *
+ * Paper reference points: 15% (TPC-H-like) to 94% (SPECint-rate-like),
+ * average 67%, with data reads/writes the largest contributor followed by
+ * write-backs, instruction fetches, and DCB operations.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cgct;
+using namespace cgct::bench;
+
+int
+main()
+{
+    const RunOptions opts = defaultRunOptions();
+    const SystemConfig config = makeDefaultConfig(); // Baseline.
+
+    std::printf("Figure 2: unnecessary broadcasts (oracle), "
+                "four-processor baseline system\n");
+    std::printf("ops/cpu=%llu warmup=%llu seed=%llu\n\n",
+                static_cast<unsigned long long>(opts.opsPerCpu),
+                static_cast<unsigned long long>(opts.warmupOps),
+                static_cast<unsigned long long>(opts.seed));
+    std::printf("%-18s %10s | %9s %9s %9s %9s | %9s\n", "benchmark",
+                "broadcasts", "data-rw%", "wrback%", "ifetch%", "dcb%",
+                "total%");
+    printRule();
+
+    double sum = 0.0;
+    for (const auto &profile : standardBenchmarks()) {
+        const RunResult r = simulateOnce(config, profile, opts);
+        const auto cat = [&](RequestCategory c) {
+            return pct(static_cast<double>(
+                           r.oracleUnnecessaryByCat[static_cast<
+                               std::size_t>(c)]) /
+                       static_cast<double>(r.oracleTotal));
+        };
+        const double total = pct(r.oracleUnnecessaryFraction());
+        sum += total;
+        std::printf("%-18s %10llu | %8.1f%% %8.1f%% %8.1f%% %8.1f%% | "
+                    "%8.1f%%\n",
+                    profile.name.c_str(),
+                    static_cast<unsigned long long>(r.oracleTotal),
+                    cat(RequestCategory::DataReadWrite),
+                    cat(RequestCategory::Writeback),
+                    cat(RequestCategory::Ifetch),
+                    cat(RequestCategory::DcbOp), total);
+    }
+    printRule();
+    std::printf("%-18s %10s | %40s | %8.1f%%\n", "average", "", "",
+                sum / standardBenchmarks().size());
+    std::printf("\npaper: 15%% to 94%% per benchmark, 67%% average\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 7 reproduction: "Effectiveness of Coarse-Grain Coherence Tracking
+ * for avoiding unnecessary broadcasts." For every benchmark: the oracle
+ * bar (requests whose broadcast was unnecessary, from Figure 2) next to
+ * the fraction of requests CGCT actually handled without a broadcast
+ * (sent directly to memory or completed with no external request) for
+ * 256 B, 512 B, and 1 KB regions. Write-backs included.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cgct;
+using namespace cgct::bench;
+
+int
+main()
+{
+    const RunOptions opts = defaultRunOptions();
+    const SystemConfig base = makeDefaultConfig();
+    const std::uint64_t region_sizes[] = {256, 512, 1024};
+
+    std::printf("Figure 7: requests handled without a broadcast "
+                "(%% of all system requests)\n\n");
+    std::printf("%-18s %9s | %9s %9s %9s | %s\n", "benchmark", "oracle%",
+                "256B%", "512B%", "1KB%", "capture@512B");
+    printRule();
+
+    double oracle_sum = 0, sums[3] = {0, 0, 0};
+    for (const auto &profile : standardBenchmarks()) {
+        const RunResult b = simulateOnce(base, profile, opts);
+        const double oracle = pct(b.oracleUnnecessaryFraction());
+        oracle_sum += oracle;
+        double avoided[3];
+        for (int i = 0; i < 3; ++i) {
+            const RunResult r = simulateOnce(
+                base.withCgct(region_sizes[i]), profile, opts);
+            avoided[i] = pct(r.avoidedFraction());
+            sums[i] += avoided[i];
+        }
+        std::printf("%-18s %8.1f%% | %8.1f%% %8.1f%% %8.1f%% | %6.2f\n",
+                    profile.name.c_str(), oracle, avoided[0], avoided[1],
+                    avoided[2], avoided[1] / oracle);
+    }
+    printRule();
+    const double n = static_cast<double>(standardBenchmarks().size());
+    std::printf("%-18s %8.1f%% | %8.1f%% %8.1f%% %8.1f%% | %6.2f\n",
+                "average", oracle_sum / n, sums[0] / n, sums[1] / n,
+                sums[2] / n, (sums[1] / n) / (oracle_sum / n));
+    std::printf("\npaper: CGCT eliminates 55-97%% of the unnecessary "
+                "broadcasts; Barnes sees only a 21-22%% broadcast\n"
+                "reduction and TPC-H 9-12%% (best case 15%%)\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 8 reproduction: "Impact on run time for different region sizes."
+ * For every benchmark and region size (256 B / 512 B / 1 KB), the percent
+ * reduction in execution time versus the conventional baseline, averaged
+ * over several seeds with 95% confidence intervals (the paper's
+ * methodology [27]).
+ *
+ * Paper reference: 512 B is the best region size, 8.8% average reduction
+ * (10.4% for the commercial workloads), best case 21.7% (TPC-W @ 512 B).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cgct;
+using namespace cgct::bench;
+
+int
+main()
+{
+    const RunOptions opts = defaultRunOptions();
+    const unsigned seeds = defaultSeeds();
+    const SystemConfig base = makeDefaultConfig();
+    const std::uint64_t region_sizes[] = {256, 512, 1024};
+
+    std::printf("Figure 8: run-time reduction vs baseline "
+                "(%u seeds, 95%% CI)\n\n", seeds);
+    std::printf("%-18s | %16s %16s %16s\n", "benchmark", "256B",
+                "512B", "1KB");
+    printRule();
+
+    double sums[3] = {0, 0, 0};
+    double commercial_sums[3] = {0, 0, 0};
+    unsigned commercial_count = 0;
+    for (const auto &profile : standardBenchmarks()) {
+        const RunSummary b =
+            runtimeSummary(simulateSeeds(base, profile, opts, seeds));
+        std::printf("%-18s |", profile.name.c_str());
+        for (int i = 0; i < 3; ++i) {
+            const RunSummary c = runtimeSummary(simulateSeeds(
+                base.withCgct(region_sizes[i]), profile, opts, seeds));
+            const double reduction = pct(1.0 - c.mean / b.mean);
+            // Combine the two intervals (independent runs).
+            const double ci = pct(std::sqrt(b.ci95Half * b.ci95Half +
+                                            c.ci95Half * c.ci95Half) /
+                                  b.mean);
+            sums[i] += reduction;
+            if (profile.commercial)
+                commercial_sums[i] += reduction;
+            std::printf("  %6.1f%% ±%4.1f%%", reduction, ci);
+        }
+        if (profile.commercial)
+            ++commercial_count;
+        std::printf("\n");
+    }
+    printRule();
+    const double n = static_cast<double>(standardBenchmarks().size());
+    std::printf("%-18s |  %6.1f%%        %6.1f%%        %6.1f%%\n",
+                "average", sums[0] / n, sums[1] / n, sums[2] / n);
+    std::printf("%-18s |  %6.1f%%        %6.1f%%        %6.1f%%\n",
+                "commercial avg",
+                commercial_sums[0] / commercial_count,
+                commercial_sums[1] / commercial_count,
+                commercial_sums[2] / commercial_count);
+    std::printf("\npaper: 8.8%% average (10.4%% commercial) at 512B; "
+                "max 21.7%% (TPC-W @ 512B)\n");
+    return 0;
+}

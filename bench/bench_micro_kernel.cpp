@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): the discrete-event kernel and the
+ * end-to-end simulator — events per second and simulated memory
+ * operations per second, the numbers that size full Figure 7/8 runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "event/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace {
+
+using namespace cgct;
+
+void
+BM_EventScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleIn(1, [] {});
+        eq.runOne();
+    }
+}
+BENCHMARK(BM_EventScheduleRun);
+
+void
+BM_EventQueueDepth(benchmark::State &state)
+{
+    const auto depth = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        for (std::uint64_t i = 0; i < depth; ++i)
+            eq.schedule(i, [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * depth));
+}
+BENCHMARK(BM_EventQueueDepth)->Arg(1024)->Arg(16384);
+
+void
+BM_SimulatedOpsPerSecond(benchmark::State &state)
+{
+    const bool cgct_on = state.range(0) != 0;
+    SystemConfig config = makeDefaultConfig();
+    if (cgct_on)
+        config = config.withCgct(512);
+    RunOptions opts;
+    opts.opsPerCpu = 20000;
+    opts.warmupOps = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        opts.seed += 17;
+        const RunResult r = simulateOnce(config,
+                                         benchmarkByName("tpc-w"), opts);
+        benchmark::DoNotOptimize(r.cycles);
+        ops += opts.opsPerCpu * config.topology.numCpus;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_SimulatedOpsPerSecond)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

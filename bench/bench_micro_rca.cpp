@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): throughput of the hot structures —
+ * RCA lookups/updates, cache-array probes, and the region protocol
+ * transition functions. These are the operations executed on every memory
+ * request, so their cost bounds achievable simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hpp"
+#include "core/rca.hpp"
+#include "core/region_protocol.hpp"
+
+namespace {
+
+using namespace cgct;
+
+void
+BM_RcaLookupHit(benchmark::State &state)
+{
+    RegionCoherenceArray rca(8192, 2, 512, true);
+    RegionEviction ev;
+    for (Addr a = 0; a < 1024 * 512; a += 512)
+        rca.allocate(a, 1, ev)->state = RegionState::CleanInvalid;
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rca.find(addr));
+        addr = (addr + 512) & (1024 * 512 - 1);
+    }
+}
+BENCHMARK(BM_RcaLookupHit);
+
+void
+BM_RcaLookupMiss(benchmark::State &state)
+{
+    RegionCoherenceArray rca(8192, 2, 512, true);
+    Addr addr = 1ULL << 33;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rca.find(addr));
+        addr += 512;
+    }
+}
+BENCHMARK(BM_RcaLookupMiss);
+
+void
+BM_RcaAllocateEvict(benchmark::State &state)
+{
+    RegionCoherenceArray rca(64, 2, 512, true);
+    RegionEviction ev;
+    Addr addr = 0;
+    for (auto _ : state) {
+        RegionEntry *e = rca.allocate(addr, 1, ev);
+        e->state = RegionState::CleanInvalid;
+        benchmark::DoNotOptimize(e);
+        addr += 512;
+    }
+}
+BENCHMARK(BM_RcaAllocateEvict);
+
+void
+BM_CacheArrayProbe(benchmark::State &state)
+{
+    CacheArray arr(8192, 2, 64);
+    Eviction ev;
+    for (Addr a = 0; a < 4096 * 64; a += 64)
+        arr.allocate(a, ev)->state = LineState::Shared;
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arr.find(addr));
+        addr = (addr + 64) & (4096 * 64 - 1);
+    }
+}
+BENCHMARK(BM_CacheArrayProbe);
+
+void
+BM_RegionRoute(benchmark::State &state)
+{
+    int i = 0;
+    constexpr RegionState states[] = {
+        RegionState::Invalid,      RegionState::CleanInvalid,
+        RegionState::CleanClean,   RegionState::DirtyDirty,
+    };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            routeFor(RequestType::Read, states[i & 3]));
+        ++i;
+    }
+}
+BENCHMARK(BM_RegionRoute);
+
+void
+BM_RegionBroadcastTransition(benchmark::State &state)
+{
+    RegionSnoopBits bits;
+    bits.clean = true;
+    int i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            afterBroadcast(RegionState::Invalid, RequestType::Read,
+                           (i & 1) != 0, bits));
+        ++i;
+    }
+}
+BENCHMARK(BM_RegionBroadcastTransition);
+
+} // namespace
+
+BENCHMARK_MAIN();

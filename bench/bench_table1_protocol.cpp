@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 1 reproduction: the seven region protocol states with their
+ * meaning and "Broadcast Needed?" column, plus the full routing matrix
+ * the protocol implements (derived from routeFor()).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/region_protocol.hpp"
+
+using namespace cgct;
+
+namespace {
+
+const char *
+describeLocal(RegionState s)
+{
+    if (s == RegionState::Invalid)
+        return "No Cached Copies";
+    return isLocallyDirty(s) ? "May Have Modified Copies"
+                             : "Unmodified Copies Only";
+}
+
+const char *
+describeExternal(RegionState s)
+{
+    if (s == RegionState::Invalid)
+        return "Unknown";
+    if (isRegionExclusive(s))
+        return "No Cached Copies";
+    return isExternallyDirty(s) ? "May Have Modified Copies"
+                                : "Unmodified Copies Only";
+}
+
+const char *
+broadcastNeeded(RegionState s)
+{
+    if (s == RegionState::Invalid)
+        return "Yes";
+    if (isRegionExclusive(s))
+        return "No";
+    if (isExternallyClean(s))
+        return "For Modifiable Copy";
+    return "Yes";
+}
+
+const char *
+routeName(RouteKind k)
+{
+    switch (k) {
+      case RouteKind::Broadcast:     return "broadcast";
+      case RouteKind::Direct:        return "direct";
+      case RouteKind::LocalComplete: return "local";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr RegionState states[] = {
+        RegionState::Invalid,      RegionState::CleanInvalid,
+        RegionState::CleanClean,   RegionState::CleanDirty,
+        RegionState::DirtyInvalid, RegionState::DirtyClean,
+        RegionState::DirtyDirty,
+    };
+
+    std::printf("Table 1: region protocol states\n\n");
+    std::printf("%-5s %-26s %-26s %s\n", "State", "Processor",
+                "Other Processors", "Broadcast Needed?");
+    for (RegionState s : states) {
+        std::printf("%-5s %-26s %-26s %s\n",
+                    std::string(regionStateName(s)).c_str(),
+                    describeLocal(s), describeExternal(s),
+                    broadcastNeeded(s));
+    }
+
+    std::printf("\nDerived routing matrix (request type x region state)\n\n");
+    constexpr RequestType types[] = {
+        RequestType::Read,          RequestType::ReadExclusive,
+        RequestType::Upgrade,       RequestType::Ifetch,
+        RequestType::Prefetch,      RequestType::PrefetchExclusive,
+        RequestType::Writeback,     RequestType::Dcbz,
+        RequestType::Dcbf,          RequestType::Dcbi,
+    };
+    std::printf("%-18s", "request \\ region");
+    for (RegionState s : states)
+        std::printf(" %-10s", std::string(regionStateName(s)).c_str());
+    std::printf("\n");
+    for (RequestType t : types) {
+        std::printf("%-18s", std::string(requestTypeName(t)).c_str());
+        for (RegionState s : states)
+            std::printf(" %-10s", routeName(routeFor(t, s)));
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Table 3 reproduction: print the full simulation parameter set of the
+ * modeled four-processor Fireplane-like system.
+ */
+
+#include <iostream>
+
+#include "common/config.hpp"
+
+int
+main()
+{
+    cgct::SystemConfig config = cgct::makeDefaultConfig().withCgct(512);
+    std::cout << "Table 3: simulation parameters\n\n";
+    config.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Example: the TPC-H-style two-phase query from the paper's Section 5.1 —
+ * a parallel scan phase where CGCT shines, followed by a merge phase full
+ * of migratory cache-to-cache transfers where it cannot help. The example
+ * runs each phase as its own workload so the per-phase behavior the paper
+ * describes ("benefits a great deal during the parallel phase of the
+ * query, but later ... there are a lot of cache-to-cache transfers") is
+ * visible directly.
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace cgct;
+
+namespace {
+
+WorkloadProfile
+scanOnly()
+{
+    WorkloadProfile p = benchmarkByName("tpc-h");
+    p.name = "tpc-h-scan";
+    p.description = "parallel scan phase only";
+    PhaseSpec scan = p.phases[0];
+    scan.fraction = 1.0;
+    p.phases = {scan};
+    return p;
+}
+
+WorkloadProfile
+mergeOnly()
+{
+    WorkloadProfile p = benchmarkByName("tpc-h");
+    p.name = "tpc-h-merge";
+    p.description = "merge phase only";
+    PhaseSpec merge = p.phases.back();
+    merge.fraction = 1.0;
+    p.phases = {merge};
+    return p;
+}
+
+void
+report(const char *label, const RunResult &base, const RunResult &with)
+{
+    const double speedup =
+        100.0 * (1.0 - static_cast<double>(with.cycles) /
+                           static_cast<double>(base.cycles));
+    const double c2c =
+        100.0 * static_cast<double>(base.cacheToCache) /
+        static_cast<double>(base.cacheToCache + base.memorySupplied);
+    std::printf("%-14s | oracle %5.1f%% | avoided %5.1f%% | c2c reads "
+                "%5.1f%% | runtime %+5.1f%%\n",
+                label, 100.0 * base.oracleUnnecessaryFraction(),
+                100.0 * with.avoidedFraction(), c2c, speedup);
+}
+
+} // namespace
+
+int
+main()
+{
+    RunOptions opts;
+    opts.opsPerCpu = 80000;
+    opts.warmupOps = 16000;
+    opts.seed = 7;
+
+    const SystemConfig base = makeDefaultConfig();
+    const SystemConfig with = base.withCgct(512);
+
+    std::printf("TPC-H-style query on the four-processor system "
+                "(512B regions)\n\n");
+    std::printf("%-14s | %-13s | %-14s | %-15s | %s\n", "phase",
+                "oracle unnec.", "CGCT avoided", "cache-to-cache",
+                "runtime vs base");
+
+    {
+        const WorkloadProfile p = scanOnly();
+        report("scan",
+               simulateOnce(base, p, opts), simulateOnce(with, p, opts));
+    }
+    {
+        const WorkloadProfile p = mergeOnly();
+        report("merge",
+               simulateOnce(base, p, opts), simulateOnce(with, p, opts));
+    }
+    {
+        const WorkloadProfile &p = benchmarkByName("tpc-h");
+        report("full query",
+               simulateOnce(base, p, opts), simulateOnce(with, p, opts));
+    }
+
+    std::printf("\npaper (Section 5.1): TPC-H 'benefits a great deal ... "
+                "during the parallel phase of the query, but later when\n"
+                "merging information from the different processes there "
+                "are a lot of cache-to-cache transfers, leaving a\n"
+                "best-case reduction of only 15%% of broadcasts.'\n");
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Example: a hand-built producer-consumer scenario driven directly through
+ * the public Node/Bus API (no workload generator). One processor fills a
+ * buffer, another consumes it, and the example narrates what the region
+ * protocol does at every step — which requests broadcast, which go
+ * directly to memory, and how the Region Coherence Array states evolve.
+ *
+ * This is the "how does the mechanism actually behave" walkthrough for
+ * people integrating the library at the component level.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+
+using namespace cgct;
+
+namespace {
+
+/** Minimal harness around a hand-assembled multiprocessor. */
+class Machine
+{
+  public:
+    explicit Machine(bool cgct_on)
+    {
+        config_ = makeDefaultConfig();
+        config_.prefetch.enabled = false; // Keep the trace readable.
+        if (cgct_on)
+            config_ = config_.withCgct(512);
+        config_.validate();
+        map_ = std::make_unique<AddressMap>(config_.topology);
+        for (unsigned i = 0; i < config_.topology.numMemCtrls(); ++i) {
+            mcs_.push_back(std::make_unique<MemoryController>(
+                static_cast<MemCtrlId>(i), eq_, config_.interconnect));
+            mcPtrs_.push_back(mcs_.back().get());
+        }
+        net_ = std::make_unique<DataNetwork>(config_.topology.numCpus,
+                                             config_.interconnect);
+        bus_ = std::make_unique<Bus>(eq_, config_.interconnect, *map_,
+                                     *net_, mcPtrs_);
+        for (unsigned i = 0; i < config_.topology.numCpus; ++i) {
+            nodes_.push_back(std::make_unique<Node>(
+                static_cast<CpuId>(i), config_, eq_, *bus_, *net_, *map_,
+                mcPtrs_,
+                makeTracker(static_cast<CpuId>(i), config_.cgct,
+                            config_.l2.lineBytes)));
+            bus_->addClient(nodes_.back().get());
+        }
+    }
+
+    /** Perform one op and return how long the data took. */
+    Tick
+    access(unsigned cpu, CpuOpKind kind, Addr addr)
+    {
+        Tick ready = 0;
+        bool pending = false;
+        Tick result = 0;
+        const Tick start = eq_.now();
+        if (!nodes_[cpu]->access(kind, addr, start, ready,
+                                 [&](Tick r) {
+                                     pending = true;
+                                     result = r;
+                                 })) {
+            eq_.run();
+            ready = result;
+        }
+        (void)pending;
+        return ready - start;
+    }
+
+    std::string
+    regionState(unsigned cpu, Addr addr)
+    {
+        if (!nodes_[cpu]->tracker())
+            return "-";
+        return std::string(
+            regionStateName(nodes_[cpu]->tracker()->peekState(addr)));
+    }
+
+    Node &node(unsigned i) { return *nodes_[i]; }
+
+  private:
+    SystemConfig config_;
+    EventQueue eq_;
+    std::unique_ptr<AddressMap> map_;
+    std::vector<std::unique_ptr<MemoryController>> mcs_;
+    std::vector<MemoryController *> mcPtrs_;
+    std::unique_ptr<DataNetwork> net_;
+    std::unique_ptr<Bus> bus_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+constexpr Addr kBuffer = 0x100000; // One 512-byte region: 8 lines.
+
+void
+runScenario(bool cgct_on)
+{
+    std::printf("==== %s ====\n",
+                cgct_on ? "with Coarse-Grain Coherence Tracking (512B)"
+                        : "conventional broadcast baseline");
+    Machine m(cgct_on);
+
+    std::printf("producer (cpu0) writes 8 lines of the buffer region:\n");
+    for (int i = 0; i < 8; ++i) {
+        const Addr a = kBuffer + static_cast<Addr>(i) * 64;
+        const Tick lat = m.access(0, CpuOpKind::Store, a);
+        std::printf("  store line %d: %4llu cycles   region@cpu0=%s\n", i,
+                    static_cast<unsigned long long>(lat),
+                    m.regionState(0, a).c_str());
+    }
+
+    std::printf("consumer (cpu2) reads the 8 lines:\n");
+    for (int i = 0; i < 8; ++i) {
+        const Addr a = kBuffer + static_cast<Addr>(i) * 64;
+        const Tick lat = m.access(2, CpuOpKind::Load, a);
+        std::printf("  load line %d:  %4llu cycles   region@cpu0=%s "
+                    "region@cpu2=%s\n",
+                    i, static_cast<unsigned long long>(lat),
+                    m.regionState(0, a).c_str(),
+                    m.regionState(2, a).c_str());
+    }
+
+    std::printf("producer refills the buffer (next iteration):\n");
+    for (int i = 0; i < 8; ++i) {
+        const Addr a = kBuffer + static_cast<Addr>(i) * 64;
+        const Tick lat = m.access(0, CpuOpKind::Store, a);
+        if (i < 2 || i == 7)
+            std::printf("  store line %d: %4llu cycles   region@cpu0=%s\n",
+                        i, static_cast<unsigned long long>(lat),
+                        m.regionState(0, a).c_str());
+    }
+
+    std::printf("producer then works on private scratch (same region "
+                "reused 8 lines):\n");
+    for (int i = 0; i < 8; ++i) {
+        const Addr a = 0x200000 + static_cast<Addr>(i) * 64;
+        const Tick lat = m.access(0, CpuOpKind::Store, a);
+        if (i < 3)
+            std::printf("  store line %d: %4llu cycles   region@cpu0=%s\n",
+                        i, static_cast<unsigned long long>(lat),
+                        m.regionState(0, a).c_str());
+    }
+
+    const auto &s = m.node(0).stats();
+    std::printf("cpu0 totals: %llu requests = %llu broadcast + %llu "
+                "direct + %llu local\n\n",
+                static_cast<unsigned long long>(s.requestsTotal),
+                static_cast<unsigned long long>(s.broadcasts),
+                static_cast<unsigned long long>(s.directs),
+                static_cast<unsigned long long>(s.localCompletes));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Producer-consumer walkthrough: one 512-byte buffer "
+                "region shared by cpu0 (producer) and cpu2 (consumer).\n"
+                "Watch the region states: DI = exclusive (no broadcasts "
+                "needed), DC/CD = shared region, I = untracked.\n\n");
+    runScenario(false);
+    runScenario(true);
+    std::printf("Takeaways: the baseline broadcasts every miss; CGCT "
+                "broadcasts once per region, then sends the remaining\n"
+                "lines directly to memory, and the producer's private "
+                "scratch never needs the bus after its first touch.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: simulate one workload on the paper's four-processor system,
+ * first with the conventional broadcast protocol and then with Coarse-Grain
+ * Coherence Tracking (512 B regions), and compare.
+ *
+ * Usage: quickstart [benchmark] [ops-per-cpu]
+ * Benchmarks: ocean raytrace barnes specint2000rate specweb99 specjbb2000
+ *             tpc-w tpc-b tpc-h
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/config.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "tpc-w";
+    const std::uint64_t ops =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+
+    const cgct::WorkloadProfile &profile = cgct::benchmarkByName(bench);
+    cgct::SystemConfig config = cgct::makeDefaultConfig();
+
+    cgct::RunOptions opts;
+    opts.opsPerCpu = ops;
+    opts.warmupOps = ops / 5;
+    opts.seed = 42;
+
+    std::printf("workload: %s — %s\n", profile.name.c_str(),
+                profile.description.c_str());
+
+    const cgct::RunResult base =
+        cgct::simulateOnce(config.baseline(), profile, opts);
+    const cgct::RunResult with =
+        cgct::simulateOnce(config.withCgct(512), profile, opts);
+
+    std::printf("\n%-34s %14s %14s\n", "", "baseline", "CGCT 512B");
+    std::printf("%-34s %14llu %14llu\n", "runtime (cycles)",
+                static_cast<unsigned long long>(base.cycles),
+                static_cast<unsigned long long>(with.cycles));
+    std::printf("%-34s %14llu %14llu\n", "system requests",
+                static_cast<unsigned long long>(base.requestsTotal),
+                static_cast<unsigned long long>(with.requestsTotal));
+    std::printf("%-34s %14llu %14llu\n", "broadcasts",
+                static_cast<unsigned long long>(base.broadcasts),
+                static_cast<unsigned long long>(with.broadcasts));
+    std::printf("%-34s %14llu %14llu\n", "direct to memory",
+                static_cast<unsigned long long>(base.directs),
+                static_cast<unsigned long long>(with.directs));
+    std::printf("%-34s %14llu %14llu\n", "completed with no request",
+                static_cast<unsigned long long>(base.locals),
+                static_cast<unsigned long long>(with.locals));
+    std::printf("%-34s %14.1f %14.1f\n", "avg demand miss latency (cyc)",
+                base.avgMissLatency, with.avgMissLatency);
+    std::printf("%-34s %14.1f %14.1f\n", "avg broadcasts / 100K cycles",
+                base.avgBroadcastsPer100k, with.avgBroadcastsPer100k);
+    std::printf("%-34s %13.1f%% %13.1f%%\n",
+                "oracle: unnecessary broadcasts",
+                100.0 * base.oracleUnnecessaryFraction(),
+                100.0 * with.oracleUnnecessaryFraction());
+
+    const double speedup =
+        100.0 * (1.0 - static_cast<double>(with.cycles) /
+                           static_cast<double>(base.cycles));
+    std::printf("\nCGCT avoided %.1f%% of system requests and reduced "
+                "runtime by %.1f%%\n",
+                100.0 * with.avoidedFraction(), speedup);
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Example: an interactive-style exploration of the region protocol state
+ * machine. For a chosen sequence of local and external events, prints the
+ * resulting state after each step — a textual rendering of the paper's
+ * Figures 3-5. Useful for checking "what does the protocol do if..."
+ * questions without building a system.
+ *
+ * Usage: region_explorer            (runs the built-in scenarios)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/region_protocol.hpp"
+
+using namespace cgct;
+
+namespace {
+
+struct Step {
+    /** Human-readable description. */
+    const char *what;
+    /** Apply the event. */
+    RegionState (*apply)(RegionState);
+};
+
+void
+runScenario(const char *title, RegionState start,
+            const std::vector<Step> &steps)
+{
+    std::printf("%s\n", title);
+    RegionState s = start;
+    std::printf("  start: %s\n", std::string(regionStateName(s)).c_str());
+    for (const Step &step : steps) {
+        const RegionState next = step.apply(s);
+        std::printf("  %-58s %s -> %s\n", step.what,
+                    std::string(regionStateName(s)).c_str(),
+                    std::string(regionStateName(next)).c_str());
+        s = next;
+    }
+    std::printf("\n");
+}
+
+RegionSnoopBits
+bits(bool clean, bool dirty)
+{
+    RegionSnoopBits b;
+    b.clean = clean;
+    b.dirty = dirty;
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Region protocol explorer: the transitions of Figures "
+                "3-5.\n\n");
+
+    runScenario(
+        "Scenario 1: private data (the common case CGCT exploits)",
+        RegionState::Invalid,
+        {
+            {"local read broadcasts; response: no other copies",
+             [](RegionState s) {
+                 return afterBroadcast(s, RequestType::Read, true,
+                                       bits(false, false));
+             }},
+            {"local store (silent: the region is already ours)",
+             [](RegionState s) {
+                 return afterSilentLocal(s, RequestType::ReadExclusive,
+                                         true);
+             }},
+            {"another local read (direct to memory; no state change)",
+             [](RegionState s) { return s; }},
+        });
+
+    runScenario(
+        "Scenario 2: shared instruction region",
+        RegionState::Invalid,
+        {
+            {"ifetch broadcasts; response: others hold it clean",
+             [](RegionState s) {
+                 return afterBroadcast(s, RequestType::Ifetch, false,
+                                       bits(true, false));
+             }},
+            {"external ifetch (their fetch keeps everything clean)",
+             [](RegionState s) { return afterExternalSnoop(s, false); }},
+            {"local RFO broadcasts; response: nobody shares anymore",
+             [](RegionState s) {
+                 return afterBroadcast(s, RequestType::ReadExclusive,
+                                       true, bits(false, false));
+             }},
+        });
+
+    runScenario(
+        "Scenario 3: the CI -> DI dashed edge (Figure 3)",
+        RegionState::Invalid,
+        {
+            {"local clean read; response: no other copies",
+             [](RegionState s) {
+                 return afterBroadcast(s, RequestType::Read, false,
+                                       bits(false, false));
+             }},
+            {"local load granted an exclusive line (silent upgrade)",
+             [](RegionState s) {
+                 return afterSilentLocal(s, RequestType::Read, true);
+             }},
+        });
+
+    runScenario(
+        "Scenario 4: losing exclusivity to external requests (Figure 5)",
+        RegionState::DirtyInvalid,
+        {
+            {"external shared read downgrades the external letter",
+             [](RegionState s) { return afterExternalSnoop(s, false); }},
+            {"external RFO makes the region externally dirty",
+             [](RegionState s) { return afterExternalSnoop(s, true); }},
+            {"local read broadcasts; response: region now clean outside",
+             [](RegionState s) {
+                 return afterBroadcast(s, RequestType::Read, false,
+                                       bits(true, false));
+             }},
+        });
+
+    std::printf("Routing summary for each state (Table 1):\n");
+    for (RegionState s : {RegionState::Invalid, RegionState::CleanInvalid,
+                          RegionState::CleanClean, RegionState::CleanDirty,
+                          RegionState::DirtyInvalid,
+                          RegionState::DirtyClean,
+                          RegionState::DirtyDirty}) {
+        const auto route = [&](RequestType t) {
+            switch (routeFor(t, s)) {
+              case RouteKind::Broadcast:     return "broadcast";
+              case RouteKind::Direct:        return "direct";
+              case RouteKind::LocalComplete: return "local";
+            }
+            return "?";
+        };
+        std::printf("  %-3s: load=%-9s ifetch=%-9s store-upgrade=%-9s "
+                    "writeback=%s\n",
+                    std::string(regionStateName(s)).c_str(),
+                    route(RequestType::Read), route(RequestType::Ifetch),
+                    route(RequestType::Upgrade),
+                    route(RequestType::Writeback));
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "cache/cache.hpp"
+
+namespace cgct {
+
+Cache::Cache(std::string name, const CacheParams &params)
+    : name_(std::move(name)), params_(params),
+      array_(params.numSets(), params.associativity, params.lineBytes)
+{
+}
+
+CacheLine *
+Cache::probe(Addr addr, Tick now)
+{
+    CacheLine *line = array_.find(addr);
+    if (line) {
+        ++stats_.hits;
+        array_.touch(*line, now);
+    } else {
+        ++stats_.misses;
+    }
+    return line;
+}
+
+CacheLine *
+Cache::fill(Addr addr, LineState state, Tick now, Tick ready,
+            Eviction &evicted)
+{
+    CacheLine *line = array_.allocate(addr, evicted);
+    line->state = state;
+    line->readyTick = ready;
+    line->lastUse = now;
+    ++stats_.fills;
+    if (evicted.valid) {
+        if (isDirty(evicted.state))
+            ++stats_.evictionsDirty;
+        else
+            ++stats_.evictionsClean;
+    }
+    return line;
+}
+
+LineState
+Cache::invalidateLine(Addr addr)
+{
+    const LineState prior = array_.invalidate(addr);
+    if (isValid(prior))
+        ++stats_.invalidations;
+    return prior;
+}
+
+double
+Cache::missRatio() const
+{
+    const auto total = stats_.hits + stats_.misses;
+    return total ? static_cast<double>(stats_.misses) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+Cache::addStats(StatGroup &group) const
+{
+    group.addScalar(name_ + ".hits", "probe hits", &stats_.hits);
+    group.addScalar(name_ + ".misses", "probe misses", &stats_.misses);
+    group.addScalar(name_ + ".fills", "lines installed", &stats_.fills);
+    group.addScalar(name_ + ".evictions_clean",
+                    "clean lines displaced by fills",
+                    &stats_.evictionsClean);
+    group.addScalar(name_ + ".evictions_dirty",
+                    "dirty lines displaced by fills",
+                    &stats_.evictionsDirty);
+    group.addScalar(name_ + ".invalidations",
+                    "lines invalidated by snoops or back-invalidation",
+                    &stats_.invalidations);
+    group.addDerived(name_ + ".miss_ratio", "misses / probes",
+                     [this] { return missRatio(); });
+}
+
+} // namespace cgct

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A coherent write-back cache structure: a CacheArray plus hit/miss/
+ * eviction statistics. The Cache is deliberately mechanism-only — which
+ * requests go to the system, and in what state lines are granted, is
+ * decided by the per-processor node controller (src/sim/node.*), keeping
+ * this class reusable for L1I, L1D, and L2.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_array.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+
+namespace cgct {
+
+/** One cache level. */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheParams &params);
+
+    const std::string &name() const { return name_; }
+    Tick latency() const { return params_.latency; }
+    unsigned lineBytes() const { return params_.lineBytes; }
+    Addr lineAlign(Addr addr) const { return array_.lineAlign(addr); }
+
+    CacheArray &array() { return array_; }
+    const CacheArray &array() const { return array_; }
+
+    /**
+     * Probe for @p addr, updating LRU and hit/miss statistics.
+     * @return the line if present, else nullptr.
+     */
+    CacheLine *probe(Addr addr, Tick now);
+
+    /** Probe without statistics or LRU side effects (snoops, oracle). */
+    const CacheLine *peek(Addr addr) const { return array_.find(addr); }
+    CacheLine *peekMutable(Addr addr) { return array_.find(addr); }
+
+    /**
+     * Install a line in @p state with fill data arriving at @p ready.
+     * @param[out] evicted the displaced line, if any (caller handles
+     *                     write-back / back-invalidation).
+     */
+    CacheLine *
+    fill(Addr addr, LineState state, Tick now, Tick ready,
+         Eviction &evicted);
+
+    /** Invalidate a line (external snoop or back-invalidation). */
+    LineState invalidateLine(Addr addr);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t fills = 0;
+        std::uint64_t evictionsClean = 0;
+        std::uint64_t evictionsDirty = 0;
+        std::uint64_t invalidations = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+    Stats &mutableStats() { return stats_; }
+
+    /** Miss ratio over all probes so far. */
+    double missRatio() const;
+
+    void addStats(StatGroup &group) const;
+    void resetStats() { stats_ = Stats{}; }
+
+  private:
+    std::string name_;
+    CacheParams params_;
+    CacheArray array_;
+    Stats stats_;
+};
+
+} // namespace cgct

@@ -1,0 +1,113 @@
+#include "cache/cache_array.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+CacheArray::CacheArray(std::uint64_t sets, unsigned ways,
+                       unsigned line_bytes)
+    : sets_(sets), ways_(ways), lineBytes_(line_bytes),
+      lineShift_(log2i(line_bytes)), frames_(sets * ways)
+{
+    if (!isPowerOfTwo(sets))
+        panic("CacheArray: sets must be a power of two (got %llu)",
+              static_cast<unsigned long long>(sets));
+    if (!isPowerOfTwo(line_bytes))
+        panic("CacheArray: line size must be a power of two (got %u)",
+              line_bytes);
+    if (ways == 0)
+        panic("CacheArray: associativity must be >= 1");
+}
+
+std::uint64_t
+CacheArray::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (sets_ - 1);
+}
+
+CacheLine *
+CacheArray::find(Addr addr)
+{
+    const Addr line_addr = lineAlign(addr);
+    CacheLine *base = setBase(setIndex(addr));
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid() && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+CacheLine *
+CacheArray::allocate(Addr addr, Eviction &evicted)
+{
+    evicted = Eviction{};
+    const Addr line_addr = lineAlign(addr);
+    CacheLine *base = setBase(setIndex(addr));
+    CacheLine *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &frame = base[w];
+        if (frame.valid() && frame.lineAddr == line_addr)
+            panic("CacheArray: allocating a line that is already present");
+        if (!frame.valid()) {
+            victim = &frame;
+            break;
+        }
+        if (!victim || frame.lastUse < victim->lastUse)
+            victim = &frame;
+    }
+    if (victim->valid()) {
+        evicted.valid = true;
+        evicted.lineAddr = victim->lineAddr;
+        evicted.state = victim->state;
+    }
+    *victim = CacheLine{};
+    victim->lineAddr = line_addr;
+    return victim;
+}
+
+LineState
+CacheArray::invalidate(Addr addr)
+{
+    CacheLine *line = find(addr);
+    if (!line)
+        return LineState::Invalid;
+    const LineState prior = line->state;
+    *line = CacheLine{};
+    return prior;
+}
+
+void
+CacheArray::forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
+                                const std::function<void(CacheLine &)> &fn)
+{
+    for (Addr a = region_base; a < region_base + region_bytes;
+         a += lineBytes_) {
+        if (CacheLine *line = find(a))
+            fn(*line);
+    }
+}
+
+std::uint64_t
+CacheArray::countValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &frame : frames_)
+        if (frame.valid())
+            ++n;
+    return n;
+}
+
+void
+CacheArray::reset()
+{
+    for (auto &frame : frames_)
+        frame = CacheLine{};
+}
+
+} // namespace cgct

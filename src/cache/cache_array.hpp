@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Generic set-associative array with LRU replacement, used for the L1
+ * instruction/data caches and the unified L2. Stores line metadata only
+ * (coherence state and fill timing); the simulator does not model data
+ * values.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "coherence/protocol.hpp"
+
+namespace cgct {
+
+/** Metadata for one cache line frame. */
+struct CacheLine {
+    Addr lineAddr = 0;                     ///< Line-aligned address.
+    LineState state = LineState::Invalid;
+    Tick readyTick = 0;   ///< When the fill data arrives (MSHR merging).
+    Tick lastUse = 0;     ///< LRU timestamp.
+
+    bool valid() const { return isValid(state); }
+};
+
+/** A victim chosen by allocation, reported to the caller for write-back. */
+struct Eviction {
+    bool valid = false;
+    Addr lineAddr = 0;
+    LineState state = LineState::Invalid;
+};
+
+/** Set-associative cache line array. */
+class CacheArray
+{
+  public:
+    /**
+     * @param sets       number of sets (power of two)
+     * @param ways       associativity
+     * @param line_bytes line size in bytes (power of two)
+     */
+    CacheArray(std::uint64_t sets, unsigned ways, unsigned line_bytes);
+
+    /** Line size in bytes. */
+    unsigned lineBytes() const { return lineBytes_; }
+    std::uint64_t numSets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Align an address to this array's line size. */
+    Addr lineAlign(Addr addr) const { return alignDown(addr, lineBytes_); }
+
+    /** Find the frame holding @p addr's line, or nullptr. */
+    CacheLine *find(Addr addr);
+    const CacheLine *find(Addr addr) const;
+
+    /**
+     * Allocate a frame for @p addr's line, evicting the LRU valid line if
+     * the set is full. The returned frame is zeroed except lineAddr.
+     * @param[out] evicted describes the displaced line, if any.
+     */
+    CacheLine *allocate(Addr addr, Eviction &evicted);
+
+    /** Invalidate the line if present; returns its prior state. */
+    LineState invalidate(Addr addr);
+
+    /** Update LRU for a frame. */
+    void
+    touch(CacheLine &line, Tick now)
+    {
+        line.lastUse = now;
+    }
+
+    /**
+     * Visit every valid line whose address falls inside the aligned region
+     * [region_base, region_base + region_bytes).
+     */
+    void
+    forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
+                        const std::function<void(CacheLine &)> &fn);
+
+    /** Visit every valid line (tests / invariant checks). */
+    void
+    forEachValidLine(const std::function<void(const CacheLine &)> &fn) const
+    {
+        for (const auto &frame : frames_)
+            if (frame.valid())
+                fn(frame);
+    }
+
+    /** Count of valid lines (linear scan; for tests/stats only). */
+    std::uint64_t countValid() const;
+
+    /** Invalidate everything (between simulation phases). */
+    void reset();
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+    CacheLine *setBase(std::uint64_t set) { return &frames_[set * ways_]; }
+
+    std::uint64_t sets_;
+    unsigned ways_;
+    unsigned lineBytes_;
+    unsigned lineShift_;
+    std::vector<CacheLine> frames_;
+};
+
+} // namespace cgct

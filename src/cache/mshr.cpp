@@ -1,0 +1,39 @@
+#include "cache/mshr.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+void
+MshrFile::allocate(Addr line_addr, bool prefetch)
+{
+    if (full())
+        panic("MshrFile: allocate on a full file");
+    if (contains(line_addr))
+        panic("MshrFile: duplicate allocation for line %llx",
+              static_cast<unsigned long long>(line_addr));
+    entries_.emplace(line_addr, Entry{prefetch});
+}
+
+bool
+MshrFile::release(Addr line_addr)
+{
+    return entries_.erase(line_addr) != 0;
+}
+
+bool
+MshrFile::isPrefetch(Addr line_addr) const
+{
+    auto it = entries_.find(line_addr);
+    return it != entries_.end() && it->second.prefetch;
+}
+
+void
+MshrFile::promoteToDemand(Addr line_addr)
+{
+    auto it = entries_.find(line_addr);
+    if (it != entries_.end())
+        it->second.prefetch = false;
+}
+
+} // namespace cgct

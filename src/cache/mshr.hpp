@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Miss Status Handling Registers: track outstanding line fills, merge
+ * requests to in-flight lines, and bound the number of outstanding misses
+ * per processor (Table 3 resources).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace cgct {
+
+/** Tracks outstanding misses for one cache. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned capacity) : capacity_(capacity) {}
+
+    /** True if no more misses can be issued. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** Number of in-flight misses. */
+    std::size_t inFlight() const { return entries_.size(); }
+
+    unsigned capacity() const { return capacity_; }
+
+    /** True if a fill for @p line_addr is already outstanding. */
+    bool
+    contains(Addr line_addr) const
+    {
+        return entries_.count(line_addr) != 0;
+    }
+
+    /**
+     * Register a new outstanding miss. @pre !full() && !contains()
+     * @param prefetch whether the fill was initiated by the prefetcher.
+     */
+    void allocate(Addr line_addr, bool prefetch);
+
+    /** Complete the fill for @p line_addr. Returns false if unknown. */
+    bool release(Addr line_addr);
+
+    /** Whether the outstanding fill for @p line_addr was a prefetch. */
+    bool isPrefetch(Addr line_addr) const;
+
+    /**
+     * Promote a prefetch fill to demand (a demand access merged with it);
+     * used for prefetch-accuracy statistics.
+     */
+    void promoteToDemand(Addr line_addr);
+
+    void clear() { entries_.clear(); }
+
+  private:
+    struct Entry {
+        bool prefetch = false;
+    };
+
+    unsigned capacity_;
+    std::unordered_map<Addr, Entry> entries_;
+};
+
+} // namespace cgct

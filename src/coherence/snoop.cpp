@@ -1,0 +1,3 @@
+#include "coherence/snoop.hpp"
+
+// Messages are plain data; this translation unit anchors the module.

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Snoop request/response messages, including the paper's two additional
+ * region-status bits (Section 3.4): Region Clean and Region Dirty. The
+ * bits are a logical OR over the region status of every processor other
+ * than the requester, piggybacked on the conventional line snoop response.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "coherence/protocol.hpp"
+
+namespace cgct {
+
+/** A memory request as seen by the system (bus / memory controllers). */
+struct SystemRequest {
+    CpuId cpu = kInvalidCpu;
+    RequestType type = RequestType::Read;
+    Addr lineAddr = 0;          ///< Line-aligned address.
+    bool isPrefetch = false;    ///< Demand vs prefetch (stats only).
+};
+
+/**
+ * Region-level portion of a snoop response from one processor: the paper's
+ * two additional bits.
+ */
+struct RegionSnoopBits {
+    bool clean = false;   ///< Responder caches unmodified lines only.
+    bool dirty = false;   ///< Responder may cache modified lines.
+
+    /** OR-combine responses from several processors. */
+    void
+    merge(const RegionSnoopBits &other)
+    {
+        clean = clean || other.clean;
+        dirty = dirty || other.dirty;
+    }
+
+    bool none() const { return !clean && !dirty; }
+};
+
+/**
+ * Aggregated line-level snoop result across all remote processors.
+ */
+struct LineSnoopSummary {
+    bool anyCopy = false;        ///< Some remote cache held the line.
+    bool anyDirty = false;       ///< Some remote copy was M or O.
+    bool cacheSupplied = false;  ///< Data comes cache-to-cache.
+    CpuId supplier = kInvalidCpu;
+    bool anyWroteBack = false;   ///< A flush pushed dirty data to memory.
+
+    void
+    fold(CpuId responder, const LineSnoopOutcome &out)
+    {
+        if (out.hadCopy)
+            anyCopy = true;
+        if (isDirty(out.before))
+            anyDirty = true;
+        if (out.suppliedData && !cacheSupplied) {
+            cacheSupplied = true;
+            supplier = responder;
+        }
+        if (out.wroteBack)
+            anyWroteBack = true;
+    }
+};
+
+/** Full snoop response delivered back to the requester. */
+struct SnoopResponse {
+    LineSnoopSummary line;
+    RegionSnoopBits region;
+    /** Memory controller owning the address (learned from the response). */
+    MemCtrlId memCtrl = kInvalidMemCtrl;
+};
+
+} // namespace cgct

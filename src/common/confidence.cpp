@@ -1,0 +1,49 @@
+#include "common/confidence.hpp"
+
+#include <cmath>
+
+namespace cgct {
+
+double
+tCritical95(std::size_t dof)
+{
+    // Table of two-sided 95% critical values; beyond 30 dof the normal
+    // approximation is within 2%.
+    static const double table[] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+        2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052,  2.048,  2.045, 2.042,
+    };
+    if (dof == 0)
+        return 0.0;
+    if (dof < sizeof(table) / sizeof(table[0]))
+        return table[dof];
+    return 1.960 + 2.4 / static_cast<double>(dof);
+}
+
+RunSummary
+summarize(const std::vector<double> &samples)
+{
+    RunSummary s;
+    s.count = samples.size();
+    if (s.count == 0)
+        return s;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.mean = sum / static_cast<double>(s.count);
+    if (s.count < 2)
+        return s;
+    double sq = 0.0;
+    for (double v : samples) {
+        const double d = v - s.mean;
+        sq += d * d;
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+    s.ci95Half = tCritical95(s.count - 1) * s.stddev /
+                 std::sqrt(static_cast<double>(s.count));
+    return s;
+}
+
+} // namespace cgct

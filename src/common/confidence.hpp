@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small-sample statistics for the multi-run evaluation methodology of the
+ * paper ("we averaged several runs of each benchmark ... 95% confidence
+ * intervals", after Alameldeen et al. [27]).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cgct {
+
+/** Summary of a set of per-run measurements. */
+struct RunSummary {
+    double mean = 0.0;
+    double stddev = 0.0;        ///< Sample standard deviation (n-1).
+    double ci95Half = 0.0;      ///< Half-width of the 95% Student-t CI.
+    std::size_t count = 0;
+};
+
+/** Two-sided 95% Student-t critical value for @p dof degrees of freedom. */
+double tCritical95(std::size_t dof);
+
+/** Compute mean / sample stddev / 95% CI half-width for @p samples. */
+RunSummary summarize(const std::vector<double> &samples);
+
+} // namespace cgct

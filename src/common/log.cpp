@@ -1,0 +1,103 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgct {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "trace";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+      default:              return "none";
+    }
+}
+
+void
+vlogMessage(LogLevel level, const char *component, const char *fmt,
+            va_list args)
+{
+    if (level < g_threshold)
+        return;
+    std::fprintf(stderr, "[%s] %s: ", levelName(level),
+                 component ? component : "cgct");
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+void
+logMessage(LogLevel level, const char *component, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, component, fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[panic] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[fatal] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+    std::exit(1);
+}
+
+#define CGCT_LOG_FWD(method, level)                                         \
+    void                                                                    \
+    LogContext::method(const char *fmt, ...) const                          \
+    {                                                                       \
+        if (LogLevel::level < g_threshold)                                  \
+            return;                                                         \
+        va_list args;                                                       \
+        va_start(args, fmt);                                                \
+        vlogMessage(LogLevel::level, name_.c_str(), fmt, args);             \
+        va_end(args);                                                       \
+    }
+
+CGCT_LOG_FWD(trace, Trace)
+CGCT_LOG_FWD(debug, Debug)
+CGCT_LOG_FWD(info, Info)
+CGCT_LOG_FWD(warn, Warn)
+
+#undef CGCT_LOG_FWD
+
+} // namespace cgct

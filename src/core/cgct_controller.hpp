@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The Coarse-Grain Coherence Tracking controller: drives the region
+ * protocol over the Region Coherence Array on behalf of one processor
+ * node. The node consults route() before sending a request to the system,
+ * notifies the controller of broadcast responses / direct completions /
+ * line fills and evictions, and forwards external region snoops.
+ *
+ * RegionTracker is the abstract interface so the RegionScout mechanism
+ * (related work, Section 2) can be swapped in for comparison benches.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/rca.hpp"
+#include "core/region_protocol.hpp"
+
+namespace cgct {
+
+/** Routing decision handed to the node. */
+struct RouteDecision {
+    RouteKind kind = RouteKind::Broadcast;
+    /** Target controller for Direct routes (from the region entry). */
+    MemCtrlId memCtrl = kInvalidMemCtrl;
+};
+
+/**
+ * Interface between a processor node and its coarse-grain tracking
+ * mechanism (CGCT's RCA, RegionScout, or nothing).
+ */
+class RegionTracker
+{
+  public:
+    /**
+     * Called when a region eviction forces cache lines out to preserve
+     * inclusion: the node must flush every cached line of the region,
+     * sending dirty lines to @p mem_ctrl.
+     */
+    using FlushFn = std::function<void(Addr region_addr,
+                                       std::uint64_t region_bytes,
+                                       MemCtrlId mem_ctrl)>;
+
+    virtual ~RegionTracker() = default;
+
+    /** Register a flush handler (appends; one per sharing node). */
+    virtual void setFlushHandler(FlushFn fn) = 0;
+
+    /** Route a local request about to be sent to the system. */
+    virtual RouteDecision route(RequestType type, Addr line_addr,
+                                Tick now) = 0;
+
+    /** A broadcast for @p line_addr resolved with the given response. */
+    virtual void onBroadcastResponse(RequestType type, Addr line_addr,
+                                     bool line_granted_exclusive,
+                                     const SnoopResponse &resp,
+                                     Tick now) = 0;
+
+    /** A direct request was issued (region permission already held). */
+    virtual void onDirectIssue(RequestType type, Addr line_addr,
+                               bool line_granted_exclusive, Tick now) = 0;
+
+    /** A request completed locally with no external request. */
+    virtual void onLocalComplete(RequestType type, Addr line_addr,
+                                 Tick now) = 0;
+
+    /** A line of the region was installed in this processor's cache. */
+    virtual void onLineFill(Addr line_addr) = 0;
+
+    /** A line left this processor's cache (eviction or invalidation). */
+    virtual void onLineEvict(Addr line_addr) = 0;
+
+    /**
+     * External snoop: report this processor's region bits and apply the
+     * downgrade. Self-invalidation happens here when the line count is 0.
+     */
+    virtual RegionSnoopBits externalSnoop(Addr line_addr,
+                                          bool external_gets_exclusive) = 0;
+
+    /** Current state for an address (tests / oracle), Invalid if absent. */
+    virtual RegionState peekState(Addr line_addr) const = 0;
+
+    virtual void addStats(StatGroup &group) const = 0;
+};
+
+/** The paper's CGCT mechanism: region protocol over an RCA. */
+class CgctController : public RegionTracker
+{
+  public:
+    CgctController(CpuId cpu, const CgctParams &params,
+                   unsigned line_bytes);
+
+    void
+    setFlushHandler(FlushFn fn) override
+    {
+        flush_.push_back(std::move(fn));
+    }
+
+    RouteDecision route(RequestType type, Addr line_addr,
+                        Tick now) override;
+    void onBroadcastResponse(RequestType type, Addr line_addr,
+                             bool line_granted_exclusive,
+                             const SnoopResponse &resp, Tick now) override;
+    void onDirectIssue(RequestType type, Addr line_addr,
+                       bool line_granted_exclusive, Tick now) override;
+    void onLocalComplete(RequestType type, Addr line_addr,
+                         Tick now) override;
+    void onLineFill(Addr line_addr) override;
+    void onLineEvict(Addr line_addr) override;
+    RegionSnoopBits externalSnoop(Addr line_addr,
+                                  bool external_gets_exclusive) override;
+    RegionState peekState(Addr line_addr) const override;
+    void addStats(StatGroup &group) const override;
+
+    RegionCoherenceArray &rca() { return rca_; }
+    const RegionCoherenceArray &rca() const { return rca_; }
+
+    const CgctParams &params() const { return params_; }
+
+  private:
+    /** Apply the three-state collapse when configured (Section 3.4). */
+    RegionState squash(RegionState s) const
+    {
+        return params_.threeStateProtocol ? threeStateOf(s) : s;
+    }
+
+    CpuId cpu_;
+    CgctParams params_;
+    RegionCoherenceArray rca_;
+    std::vector<FlushFn> flush_;
+};
+
+/**
+ * Build the tracker configured by @p params: the CGCT controller when
+ * enabled, nullptr when the system runs the conventional baseline.
+ * The result is shareable between the cores of a chip.
+ */
+std::shared_ptr<RegionTracker> makeTracker(CpuId cpu,
+                                           const CgctParams &params,
+                                           unsigned line_bytes);
+
+} // namespace cgct

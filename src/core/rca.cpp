@@ -1,0 +1,158 @@
+#include "core/rca.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+RegionCoherenceArray::RegionCoherenceArray(std::uint64_t sets, unsigned ways,
+                                           std::uint64_t region_bytes,
+                                           bool favor_empty)
+    : sets_(sets), ways_(ways), regionBytes_(region_bytes),
+      regionShift_(log2i(region_bytes)), favorEmpty_(favor_empty),
+      entries_(sets * ways)
+{
+    if (!isPowerOfTwo(sets))
+        panic("RCA: sets must be a power of two");
+    if (!isPowerOfTwo(region_bytes))
+        panic("RCA: region size must be a power of two");
+    if (ways == 0)
+        panic("RCA: associativity must be >= 1");
+}
+
+std::uint64_t
+RegionCoherenceArray::setIndex(Addr addr) const
+{
+    return (addr >> regionShift_) & (sets_ - 1);
+}
+
+RegionEntry *
+RegionCoherenceArray::find(Addr addr)
+{
+    const Addr region = regionAlign(addr);
+    RegionEntry *base = setBase(setIndex(addr));
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid() && base[w].regionAddr == region) {
+            ++stats_.hits;
+            return &base[w];
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+const RegionEntry *
+RegionCoherenceArray::find(Addr addr) const
+{
+    return const_cast<RegionCoherenceArray *>(this)->find(addr);
+}
+
+RegionEntry *
+RegionCoherenceArray::allocate(Addr addr, Tick now, RegionEviction &evicted)
+{
+    evicted = RegionEviction{};
+    const Addr region = regionAlign(addr);
+    RegionEntry *base = setBase(setIndex(addr));
+
+    RegionEntry *victim = nullptr;
+    RegionEntry *empty_lru = nullptr;
+    RegionEntry *any_lru = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        RegionEntry &e = base[w];
+        if (e.valid() && e.regionAddr == region)
+            panic("RCA: allocating a region that is already present");
+        if (!e.valid()) {
+            victim = &e;
+            break;
+        }
+        if (e.lineCount == 0 &&
+            (!empty_lru || e.lastUse < empty_lru->lastUse)) {
+            empty_lru = &e;
+        }
+        if (!any_lru || e.lastUse < any_lru->lastUse)
+            any_lru = &e;
+    }
+    if (!victim)
+        victim = (favorEmpty_ && empty_lru) ? empty_lru : any_lru;
+
+    if (victim->valid()) {
+        evicted.valid = true;
+        evicted.regionAddr = victim->regionAddr;
+        evicted.state = victim->state;
+        evicted.lineCount = victim->lineCount;
+        evicted.memCtrl = victim->memCtrl;
+        stats_.lineCountSum += victim->lineCount;
+        ++stats_.lineCountSamples;
+        switch (victim->lineCount) {
+          case 0:  ++stats_.evictedEmpty; break;
+          case 1:  ++stats_.evictedOneLine; break;
+          case 2:  ++stats_.evictedTwoLines; break;
+          default: ++stats_.evictedMoreLines; break;
+        }
+    }
+
+    *victim = RegionEntry{};
+    victim->regionAddr = region;
+    victim->lastUse = now;
+    ++stats_.allocations;
+    return victim;
+}
+
+void
+RegionCoherenceArray::invalidate(Addr addr)
+{
+    const Addr region = regionAlign(addr);
+    RegionEntry *base = setBase(setIndex(addr));
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid() && base[w].regionAddr == region) {
+            base[w] = RegionEntry{};
+            return;
+        }
+    }
+}
+
+std::uint64_t
+RegionCoherenceArray::countValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid())
+            ++n;
+    return n;
+}
+
+void
+RegionCoherenceArray::reset()
+{
+    for (auto &e : entries_)
+        e = RegionEntry{};
+}
+
+void
+RegionCoherenceArray::addStats(StatGroup &group) const
+{
+    group.addScalar("rca.hits", "region lookups that hit", &stats_.hits);
+    group.addScalar("rca.misses", "region lookups that missed",
+                    &stats_.misses);
+    group.addScalar("rca.allocations", "region entries allocated",
+                    &stats_.allocations);
+    group.addScalar("rca.evicted_empty",
+                    "evicted regions with no cached lines",
+                    &stats_.evictedEmpty);
+    group.addScalar("rca.evicted_one_line",
+                    "evicted regions with one cached line",
+                    &stats_.evictedOneLine);
+    group.addScalar("rca.evicted_two_lines",
+                    "evicted regions with two cached lines",
+                    &stats_.evictedTwoLines);
+    group.addScalar("rca.evicted_more_lines",
+                    "evicted regions with three or more cached lines",
+                    &stats_.evictedMoreLines);
+    group.addScalar("rca.inclusion_flushed_lines",
+                    "cache lines flushed to preserve RCA inclusion",
+                    &stats_.inclusionFlushedLines);
+    group.addScalar("rca.self_invalidations",
+                    "regions invalidated by the zero-line-count mechanism",
+                    &stats_.selfInvalidations);
+}
+
+} // namespace cgct

@@ -1,0 +1,146 @@
+#include "core/region_protocol.hpp"
+
+namespace cgct {
+
+std::string_view
+regionStateName(RegionState s)
+{
+    switch (s) {
+      case RegionState::Invalid:      return "I";
+      case RegionState::CleanInvalid: return "CI";
+      case RegionState::CleanClean:   return "CC";
+      case RegionState::CleanDirty:   return "CD";
+      case RegionState::DirtyInvalid: return "DI";
+      case RegionState::DirtyClean:   return "DC";
+      case RegionState::DirtyDirty:   return "DD";
+    }
+    return "?";
+}
+
+RouteKind
+routeFor(RequestType type, RegionState state)
+{
+    switch (type) {
+      case RequestType::Writeback:
+        // A valid region entry carries the memory-controller index, so the
+        // write-back can bypass the broadcast regardless of sharing.
+        return state == RegionState::Invalid ? RouteKind::Broadcast
+                                             : RouteKind::Direct;
+
+      case RequestType::Upgrade:
+      case RequestType::Dcbz:
+      case RequestType::Dcbf:
+      case RequestType::Dcbi:
+        // No data transfer needed; with no external copies these complete
+        // immediately without any external request (Section 1.2).
+        return isRegionExclusive(state) ? RouteKind::LocalComplete
+                                        : RouteKind::Broadcast;
+
+      case RequestType::Ifetch:
+      case RequestType::Prefetch:
+        // Reads of shared copies may go directly to memory from both the
+        // exclusive and the externally clean states.
+        if (isRegionExclusive(state) || isExternallyClean(state))
+            return RouteKind::Direct;
+        return RouteKind::Broadcast;
+
+      case RequestType::Read:
+      case RequestType::ReadExclusive:
+      case RequestType::PrefetchExclusive:
+        // Loads are not prevented from obtaining exclusive copies, so data
+        // reads are broadcast unless no other processor caches the region.
+        return isRegionExclusive(state) ? RouteKind::Direct
+                                        : RouteKind::Broadcast;
+    }
+    return RouteKind::Broadcast;
+}
+
+namespace {
+
+/** Compose a state from the two letters. */
+RegionState
+compose(bool local_dirty, bool ext_clean, bool ext_dirty)
+{
+    if (local_dirty) {
+        if (ext_dirty)
+            return RegionState::DirtyDirty;
+        return ext_clean ? RegionState::DirtyClean
+                         : RegionState::DirtyInvalid;
+    }
+    if (ext_dirty)
+        return RegionState::CleanDirty;
+    return ext_clean ? RegionState::CleanClean : RegionState::CleanInvalid;
+}
+
+} // namespace
+
+RegionState
+afterBroadcast(RegionState prev, RequestType type,
+               bool line_granted_exclusive, RegionSnoopBits resp)
+{
+    if (type == RequestType::Writeback)
+        return prev; // Write-backs carry no region consequences.
+
+    const bool local_dirty = isLocallyDirty(prev) || wantsExclusive(type) ||
+                             line_granted_exclusive;
+    return compose(local_dirty, resp.clean, resp.dirty);
+}
+
+RegionState
+afterSilentLocal(RegionState prev, RequestType type,
+                 bool line_granted_exclusive)
+{
+    if (prev == RegionState::CleanInvalid &&
+        (wantsExclusive(type) || line_granted_exclusive)) {
+        return RegionState::DirtyInvalid; // Figure 3's dashed edge.
+    }
+    return prev;
+}
+
+RegionState
+afterExternalSnoop(RegionState prev, bool external_gets_exclusive)
+{
+    if (prev == RegionState::Invalid)
+        return prev;
+    const bool local_dirty = isLocallyDirty(prev);
+    if (external_gets_exclusive)
+        return compose(local_dirty, false, true);
+    // The external processor keeps only an unmodified copy: the external
+    // letter rises to at least Clean but an existing Dirty is kept (other
+    // processors may still hold modified lines).
+    if (isExternallyDirty(prev))
+        return prev;
+    return compose(local_dirty, true, false);
+}
+
+RegionSnoopBits
+regionResponseBits(RegionState s)
+{
+    RegionSnoopBits bits;
+    if (s == RegionState::Invalid)
+        return bits;
+    if (isLocallyDirty(s))
+        bits.dirty = true;
+    else
+        bits.clean = true;
+    return bits;
+}
+
+RegionState
+threeStateOf(RegionState s)
+{
+    if (s == RegionState::Invalid)
+        return s;
+    return isRegionExclusive(s) ? RegionState::DirtyInvalid
+                                : RegionState::DirtyDirty;
+}
+
+RegionSnoopBits
+threeStateBits(RegionSnoopBits bits)
+{
+    RegionSnoopBits out;
+    out.dirty = bits.clean || bits.dirty; // single "cached externally" bit
+    return out;
+}
+
+} // namespace cgct

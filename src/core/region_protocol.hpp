@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The region protocol of Section 3.1: seven stable states summarizing the
+ * local and global coherence status of the lines in an aligned region
+ * (Table 1), with the transitions of Figures 3-5.
+ *
+ * State naming: the first letter describes the local processor's lines in
+ * the region (Clean = unmodified copies only, Dirty = may have modified
+ * copies), the second describes the other processors' lines (Invalid = no
+ * cached copies, Clean, Dirty). Invalid means this processor caches no
+ * lines of the region and knows nothing about the others.
+ *
+ * All transitions are pure functions so they can be exhaustively tested;
+ * the Region Coherence Array (rca.hpp) stores the state, and the CGCT
+ * controller (cgct_controller.hpp) drives the transitions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "coherence/snoop.hpp"
+
+namespace cgct {
+
+/** The seven stable region states of Table 1. */
+enum class RegionState : std::uint8_t {
+    Invalid,       ///< I: no local copies; others unknown.
+    CleanInvalid,  ///< CI: local clean only; no external copies.
+    CleanClean,    ///< CC: local clean only; external unmodified only.
+    CleanDirty,    ///< CD: local clean only; external may be modified.
+    DirtyInvalid,  ///< DI: local may be modified; no external copies.
+    DirtyClean,    ///< DC: local may be modified; external unmodified.
+    DirtyDirty,    ///< DD: local may be modified; external may be modified.
+};
+
+/** Short name ("CI", "DD", ...). */
+std::string_view regionStateName(RegionState s);
+
+/** True for CI and DI: no other processor caches lines of the region. */
+constexpr bool
+isRegionExclusive(RegionState s)
+{
+    return s == RegionState::CleanInvalid || s == RegionState::DirtyInvalid;
+}
+
+/** True for CC and DC: other processors hold unmodified copies only. */
+constexpr bool
+isExternallyClean(RegionState s)
+{
+    return s == RegionState::CleanClean || s == RegionState::DirtyClean;
+}
+
+/** True for CD and DD: other processors may hold modified copies. */
+constexpr bool
+isExternallyDirty(RegionState s)
+{
+    return s == RegionState::CleanDirty || s == RegionState::DirtyDirty;
+}
+
+/** True when the local processor may hold modified lines (D-). */
+constexpr bool
+isLocallyDirty(RegionState s)
+{
+    return s == RegionState::DirtyInvalid || s == RegionState::DirtyClean ||
+           s == RegionState::DirtyDirty;
+}
+
+/** How a local request is routed given the region state. */
+enum class RouteKind : std::uint8_t {
+    /** Must be broadcast to the whole system. */
+    Broadcast,
+    /** May be sent directly to the memory controller. */
+    Direct,
+    /** Completes locally with no external request at all. */
+    LocalComplete,
+};
+
+/**
+ * Routing decision of the region protocol (Table 1's "Broadcast Needed?"
+ * column elaborated per request type):
+ *  - exclusive regions (CI/DI): nothing needs a broadcast;
+ *  - externally clean regions (CC/DC): reads of shared copies (instruction
+ *    fetches, shared prefetches) may go directly to memory;
+ *  - externally dirty regions (CD/DD) and Invalid: broadcast.
+ *  - write-backs: direct whenever a region entry exists (any valid state),
+ *    using the memory-controller index cached in the entry (Section 5.1);
+ *  - upgrades and DCB operations in exclusive regions complete with no
+ *    external request.
+ *
+ * Loads are *not* prevented from obtaining exclusive copies (Section 3.1),
+ * so data reads are broadcast unless the region is CI or DI.
+ */
+RouteKind routeFor(RequestType type, RegionState state);
+
+/**
+ * New region state after a broadcast's snoop response (Figures 3 and 4).
+ *
+ * The external letter comes from the aggregated response bits; the local
+ * letter becomes Dirty if the request takes a modifiable copy (or the line
+ * is granted exclusively, enabling silent upgrades), and otherwise keeps /
+ * establishes Clean.
+ *
+ * @param prev                 state before the broadcast (may be Invalid)
+ * @param type                 the local request that was broadcast
+ * @param line_granted_exclusive line returned in E or M state
+ * @param resp                 combined Region Clean / Region Dirty bits
+ */
+RegionState afterBroadcast(RegionState prev, RequestType type,
+                           bool line_granted_exclusive,
+                           RegionSnoopBits resp);
+
+/**
+ * Silent local transition for requests that complete without a broadcast
+ * (Figure 3's dashed CI -> DI edge): loading or creating a modifiable copy
+ * in a CleanInvalid region moves it to DirtyInvalid.
+ */
+RegionState afterSilentLocal(RegionState prev, RequestType type,
+                             bool line_granted_exclusive);
+
+/**
+ * Downgrade on an external request to a line in the region (Figure 5 top).
+ *
+ * @param prev                    state before the external request
+ * @param external_gets_exclusive the external requester ends up with a
+ *                                modifiable (or silently upgradable) copy
+ */
+RegionState afterExternalSnoop(RegionState prev,
+                               bool external_gets_exclusive);
+
+/**
+ * The Region Clean / Region Dirty response bits this processor contributes
+ * for a region it holds in state @p s (Section 3.4): C- states report
+ * clean, D- states report dirty. Invalid contributes nothing.
+ */
+RegionSnoopBits regionResponseBits(RegionState s);
+
+/**
+ * Collapse a state to the scaled-back three-state protocol of Section 3.4
+ * (exclusive / not-exclusive / invalid encoded as DI / DD / I), and
+ * coarsen response bits to the single "region cached externally" bit.
+ */
+RegionState threeStateOf(RegionState s);
+RegionSnoopBits threeStateBits(RegionSnoopBits bits);
+
+} // namespace cgct

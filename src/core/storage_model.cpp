@@ -1,0 +1,111 @@
+#include "core/storage_model.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace cgct {
+
+namespace {
+
+/**
+ * ECC bits per RCA set, matching the paper's Table 2 accounting: 8 bits of
+ * SEC-DED protection per set, with one additional bit once the protected
+ * payload exceeds 65 bits (the 4K-entry design points).
+ */
+unsigned
+rcaEccBits(unsigned payload_bits)
+{
+    return payload_bits > 65 ? 9 : 8;
+}
+
+} // namespace
+
+RcaStorageRow
+computeRcaStorage(const RcaDesignPoint &dp)
+{
+    if (!isPowerOfTwo(dp.regionBytes) || !isPowerOfTwo(dp.rcaEntries))
+        fatal("storage model: sizes must be powers of two");
+
+    RcaStorageRow row;
+    const std::uint64_t rca_sets = dp.rcaEntries / dp.rcaWays;
+    const unsigned region_offset_bits =
+        log2i(dp.regionBytes);
+    const unsigned rca_index_bits = log2i(rca_sets);
+    row.tagBits = dp.physAddrBits - region_offset_bits - rca_index_bits;
+
+    const unsigned lines_per_region =
+        static_cast<unsigned>(dp.regionBytes / dp.cacheLineBytes);
+    // The count ranges 0..lines_per_region inclusive.
+    row.lineCountBits = log2i(lines_per_region) + 1;
+    row.memCtrlIdBits = dp.memCtrlIdBits;
+    row.stateBits = 3;
+    row.lruBits = 1;
+
+    const unsigned payload =
+        dp.rcaWays * (row.tagBits + row.stateBits + row.lineCountBits +
+                      row.memCtrlIdBits) +
+        row.lruBits;
+    row.eccBits = rcaEccBits(payload);
+    row.totalBitsPerSet = payload + row.eccBits;
+
+    // Companion cache accounting (Section 3.2): per line a tag, 3 state
+    // bits, and 8 bytes of data ECC; per set one LRU bit and 8 ECC bits
+    // for the tags and state.
+    const std::uint64_t cache_lines = dp.cacheBytes / dp.cacheLineBytes;
+    const std::uint64_t cache_sets = cache_lines / dp.cacheWays;
+    const unsigned cache_tag_bits = dp.physAddrBits -
+                                    log2i(dp.cacheLineBytes) -
+                                    log2i(cache_sets);
+    const unsigned cache_tagspace_per_set =
+        dp.cacheWays * (cache_tag_bits + 3 + 64) + 1 + 8;
+    const unsigned cache_total_per_set =
+        cache_tagspace_per_set + dp.cacheWays * dp.cacheLineBytes * 8;
+
+    const double rca_total =
+        static_cast<double>(row.totalBitsPerSet) *
+        static_cast<double>(rca_sets);
+    const double cache_tagspace = static_cast<double>(
+        cache_tagspace_per_set) * static_cast<double>(cache_sets);
+    const double cache_total = static_cast<double>(cache_total_per_set) *
+                               static_cast<double>(cache_sets);
+
+    row.tagSpaceOverhead = rca_total / cache_tagspace;
+    row.cacheSpaceOverhead = rca_total / cache_total;
+    return row;
+}
+
+void
+printStorageTable(std::ostream &os)
+{
+    os << "Table 2. Storage overhead for varying array sizes and region "
+          "sizes.\n";
+    os << std::left << std::setw(34) << "Design point" << std::right
+       << std::setw(6) << "Tag" << std::setw(7) << "State" << std::setw(7)
+       << "Count" << std::setw(5) << "MC" << std::setw(5) << "LRU"
+       << std::setw(5) << "ECC" << std::setw(7) << "Total" << std::setw(10)
+       << "Tag-ovh" << std::setw(11) << "Cache-ovh" << "\n";
+    for (std::uint64_t entries : {4096ULL, 8192ULL, 16384ULL}) {
+        for (std::uint64_t region : {256ULL, 512ULL, 1024ULL}) {
+            RcaDesignPoint dp;
+            dp.rcaEntries = entries;
+            dp.regionBytes = region;
+            const RcaStorageRow row = computeRcaStorage(dp);
+            os << std::left << std::setw(2) << ""
+               << std::setw(5) << (std::to_string(entries / 1024) + "K")
+               << "entries, " << std::setw(5) << region << " B regions"
+               << std::right << std::setw(7) << row.tagBits << std::setw(7)
+               << row.stateBits << std::setw(7) << row.lineCountBits
+               << std::setw(5) << row.memCtrlIdBits << std::setw(5)
+               << row.lruBits << std::setw(5) << row.eccBits << std::setw(7)
+               << row.totalBitsPerSet << std::setw(9) << std::fixed
+               << std::setprecision(1) << row.tagSpaceOverhead * 100.0
+               << "%" << std::setw(10) << row.cacheSpaceOverhead * 100.0
+               << "%\n";
+        }
+    }
+}
+
+} // namespace cgct

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytic storage-overhead model reproducing Table 2 of the paper: the
+ * per-set bit budget of a Region Coherence Array (address tags, region
+ * state, line count, memory-controller index, LRU, ECC) and its overhead
+ * relative to the tag space and total space of the companion cache.
+ *
+ * The reference design point (Section 3.2): 40-bit physical addresses, a
+ * 1 MB 2-way set-associative cache with 64-byte lines (21-bit tags, 3 state
+ * bits, 8 bytes of data ECC per line, 1 LRU bit and 8 tag-ECC bits per
+ * set — 23 bytes per set in total).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace cgct {
+
+/** Inputs for one Table 2 row. */
+struct RcaDesignPoint {
+    unsigned physAddrBits = 40;
+    std::uint64_t rcaEntries = 16 * 1024;
+    unsigned rcaWays = 2;
+    std::uint64_t regionBytes = 512;
+    /** Companion cache (defaults: the paper's 1 MB 2-way, 64 B lines). */
+    std::uint64_t cacheBytes = 1024 * 1024;
+    unsigned cacheWays = 2;
+    unsigned cacheLineBytes = 64;
+    unsigned memCtrlIdBits = 6;
+};
+
+/** One computed Table 2 row. */
+struct RcaStorageRow {
+    unsigned tagBits = 0;         ///< Per entry.
+    unsigned stateBits = 3;       ///< Per entry.
+    unsigned lineCountBits = 0;   ///< Per entry.
+    unsigned memCtrlIdBits = 6;   ///< Per entry.
+    unsigned lruBits = 1;         ///< Per set.
+    unsigned eccBits = 0;         ///< Per set.
+    unsigned totalBitsPerSet = 0;
+    double tagSpaceOverhead = 0.0;    ///< vs cache tag space (fraction).
+    double cacheSpaceOverhead = 0.0;  ///< vs total cache space (fraction).
+};
+
+/** Compute one row of Table 2. */
+RcaStorageRow computeRcaStorage(const RcaDesignPoint &dp);
+
+/** Print the full Table 2 sweep (4K/8K/16K entries x 256/512/1024 B). */
+void printStorageTable(std::ostream &os);
+
+} // namespace cgct

@@ -1,0 +1,237 @@
+#include "cpu/core_model.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+CoreModel::CoreModel(CpuId cpu, const CoreParams &params, EventQueue &eq,
+                     Node &node, OpSource &source)
+    : cpu_(cpu), params_(params), eq_(eq), node_(node), source_(source)
+{
+}
+
+void
+CoreModel::start()
+{
+    scheduleRun(eq_.now());
+}
+
+void
+CoreModel::scheduleRun(Tick when)
+{
+    if (runScheduled_)
+        return;
+    runScheduled_ = true;
+    eq_.schedule(when < eq_.now() ? eq_.now() : when, [this] {
+        runScheduled_ = false;
+        run();
+    }, EventPriority::Cpu);
+}
+
+void
+CoreModel::wake(Tick ready)
+{
+    if (clock_ < ready)
+        clock_ = ready;
+    if (state_ == State::Draining) {
+        checkDrained();
+        return;
+    }
+    state_ = State::Running;
+    run();
+}
+
+void
+CoreModel::checkDrained()
+{
+    while (!loads_.empty() && loads_.front()->resolved) {
+        if (loads_.front()->ready > clock_)
+            clock_ = loads_.front()->ready;
+        loads_.pop_front();
+    }
+    if (loads_.empty() && outstandingStores_ == 0)
+        state_ = State::Finished;
+}
+
+bool
+CoreModel::enforceWindow()
+{
+    // Retire loads whose data has arrived within the core's current time.
+    while (!loads_.empty() && loads_.front()->resolved &&
+           loads_.front()->ready <= clock_) {
+        loads_.pop_front();
+    }
+    // The oldest outstanding load pins the ROB: once the core has retired
+    // a full window past it, it cannot proceed until the data arrives.
+    while (!loads_.empty() &&
+           instructions_ - loads_.front()->inst >=
+               params_.robEntries) {
+        auto &head = loads_.front();
+        if (!head->resolved) {
+            state_ = State::WaitRobHead;
+            return false;
+        }
+        if (head->ready > clock_) {
+            stats_.robStallCycles += head->ready - clock_;
+            clock_ = head->ready;
+        }
+        loads_.pop_front();
+    }
+    return true;
+}
+
+bool
+CoreModel::step()
+{
+    if (!enforceWindow())
+        return false;
+
+    CpuOp op;
+    if (!source_.next(cpu_, op)) {
+        state_ = State::Draining;
+        checkDrained();
+        return false;
+    }
+
+    // Front-end: gap instructions retire at the machine width.
+    gapCarry_ += op.gap;
+    const Tick frontend = gapCarry_ / params_.commitWidth;
+    gapCarry_ %= params_.commitWidth;
+    clock_ += frontend > 0 ? frontend : 1; // A memory op costs >= 1 cycle.
+    instructions_ += op.gap + 1;
+    ++memOps_;
+
+    Tick ready = 0;
+    switch (op.kind) {
+      case CpuOpKind::Ifetch: {
+        const bool sync = node_.access(CpuOpKind::Ifetch, op.addr, clock_,
+                                       ready,
+                                       [this](Tick r) {
+                                           stats_.ifetchStallCycles +=
+                                               r > clock_ ? r - clock_ : 0;
+                                           wake(r);
+                                       });
+        if (sync) {
+            // A short in-flight wait stalls fetch; plain hits are hidden.
+            if (ready > clock_ + 2) {
+                stats_.ifetchStallCycles += ready - clock_;
+                clock_ = ready;
+            }
+            return true;
+        }
+        state_ = State::WaitIfetch;
+        return false;
+      }
+
+      case CpuOpKind::Load: {
+        auto slot = std::make_shared<LoadSlot>();
+        slot->inst = instructions_;
+        const bool sync = node_.access(
+            CpuOpKind::Load, op.addr, clock_, ready,
+            [this, slot](Tick r) {
+                slot->resolved = true;
+                slot->ready = r;
+                if (state_ == State::WaitRobHead &&
+                    !loads_.empty() && loads_.front() == slot) {
+                    stats_.robStallCycles += r > clock_ ? r - clock_ : 0;
+                    wake(r);
+                } else if (state_ == State::WaitLoadDep &&
+                           depWait_ == slot) {
+                    stats_.loadStallCycles += r > clock_ ? r - clock_ : 0;
+                    depWait_.reset();
+                    wake(r);
+                } else if (state_ == State::Draining) {
+                    wake(r);
+                }
+            });
+        if (sync) {
+            slot->resolved = true;
+            slot->ready = ready;
+            if (op.dependent) {
+                if (ready > clock_) {
+                    stats_.loadStallCycles += ready - clock_;
+                    clock_ = ready;
+                }
+                return true;
+            }
+            if (ready > clock_)
+                loads_.push_back(std::move(slot));
+            return true;
+        }
+        loads_.push_back(slot);
+        if (op.dependent) {
+            depWait_ = slot;
+            state_ = State::WaitLoadDep;
+            return false;
+        }
+        return true;
+      }
+
+      case CpuOpKind::Store:
+      case CpuOpKind::Dcbz:
+      case CpuOpKind::Dcbf:
+      case CpuOpKind::Dcbi: {
+        const bool sync = node_.access(
+            op.kind, op.addr, clock_, ready, [this](Tick) {
+                if (outstandingStores_ > 0)
+                    --outstandingStores_;
+                if (state_ == State::WaitStore) {
+                    // The core really waited if the completion arrived
+                    // after its local clock.
+                    if (eq_.now() > clock_) {
+                        stats_.storeStallCycles += eq_.now() - clock_;
+                        clock_ = eq_.now();
+                    }
+                    state_ = State::Running;
+                    run();
+                } else if (state_ == State::Draining) {
+                    checkDrained();
+                }
+            });
+        if (sync)
+            return true;
+        ++outstandingStores_;
+        if (outstandingStores_ >= params_.lsqEntries) {
+            state_ = State::WaitStore;
+            return false;
+        }
+        return true;
+      }
+    }
+    panic("CoreModel: unknown op kind");
+}
+
+void
+CoreModel::run()
+{
+    if (state_ != State::Running)
+        return;
+    const Tick quantum_end = eq_.now() + kQuantum;
+    while (state_ == State::Running) {
+        if (clock_ >= quantum_end) {
+            scheduleRun(clock_);
+            return;
+        }
+        if (!step())
+            return;
+    }
+}
+
+void
+CoreModel::addStats(StatGroup &group) const
+{
+    group.addScalar("ifetch_stall_cycles",
+                    "cycles fetch waited on instruction misses",
+                    &stats_.ifetchStallCycles);
+    group.addScalar("load_stall_cycles",
+                    "cycles serialized on dependent loads",
+                    &stats_.loadStallCycles);
+    group.addScalar("rob_stall_cycles",
+                    "cycles the ROB head load blocked retirement",
+                    &stats_.robStallCycles);
+    group.addScalar("store_stall_cycles",
+                    "cycles stalled on a full store queue",
+                    &stats_.storeStallCycles);
+}
+
+} // namespace cgct

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Out-of-order core timing model. An interval-style model of the paper's
+ * 4-wide, 15-stage, 64-entry-ROB processor: the core retires the workload's
+ * instruction stream at the front-end rate, overlaps cache misses up to the
+ * ROB/LSQ/MSHR limits, stalls on instruction-fetch misses and on dependent
+ * loads, and blocks when the oldest outstanding load exceeds the ROB reach.
+ * This exposes exactly the levers CGCT moves — average memory latency and
+ * the overlap window — without simulating individual instructions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "event/event_queue.hpp"
+#include "sim/node.hpp"
+
+namespace cgct {
+
+/** Produces per-processor operation streams (the workload generator). */
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+
+    /** Next op for @p cpu; false when the stream is exhausted. */
+    virtual bool next(CpuId cpu, CpuOp &op) = 0;
+};
+
+/** One simulated processor core. */
+class CoreModel
+{
+  public:
+    CoreModel(CpuId cpu, const CoreParams &params, EventQueue &eq,
+              Node &node, OpSource &source);
+
+    /** Schedule the core's first activation. */
+    void start();
+
+    bool finished() const { return state_ == State::Finished; }
+
+    /** Local clock; at Finished this is the core's completion time. */
+    Tick clock() const { return clock_; }
+
+    /** Instructions retired (memory ops plus gap instructions). */
+    std::uint64_t instructions() const { return instructions_; }
+    std::uint64_t memOps() const { return memOps_; }
+
+    struct Stats {
+        std::uint64_t ifetchStallCycles = 0;
+        std::uint64_t loadStallCycles = 0;
+        std::uint64_t robStallCycles = 0;
+        std::uint64_t storeStallCycles = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+    void addStats(StatGroup &group) const;
+
+  private:
+    enum class State : std::uint8_t {
+        Running,
+        WaitIfetch,    ///< Fetch stalled on an instruction miss.
+        WaitLoadDep,   ///< Pipeline serialized on a dependent load.
+        WaitRobHead,   ///< Oldest outstanding load pins the ROB.
+        WaitStore,     ///< Store queue full.
+        Draining,      ///< Stream done; waiting for outstanding ops.
+        Finished,
+    };
+
+    /** One outstanding load tracked against the ROB window. */
+    struct LoadSlot {
+        std::uint64_t inst = 0;  ///< Retire index at issue.
+        Tick ready = 0;          ///< 0 while the miss is unresolved.
+        bool resolved = false;
+    };
+
+    /** Main execution loop; runs until a wait state or the quantum ends. */
+    void run();
+
+    /** Process one operation; returns false if the core must wait. */
+    bool step();
+
+    /** Retire resolved loads and enforce the ROB window. */
+    bool enforceWindow();
+
+    /** A memory completion arrived; wake the core if it was waiting. */
+    void wake(Tick ready);
+
+    void scheduleRun(Tick when);
+    void checkDrained();
+
+    CpuId cpu_;
+    CoreParams params_;
+    EventQueue &eq_;
+    Node &node_;
+    OpSource &source_;
+
+    State state_ = State::Running;
+    Tick clock_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t memOps_ = 0;
+    std::uint32_t gapCarry_ = 0;
+
+    std::deque<std::shared_ptr<LoadSlot>> loads_;
+    std::shared_ptr<LoadSlot> depWait_;   ///< Slot for WaitLoadDep.
+    unsigned outstandingStores_ = 0;
+    bool runScheduled_ = false;
+
+    /** Yield to the event queue after this many local cycles. */
+    static constexpr Tick kQuantum = 2048;
+
+    Stats stats_;
+};
+
+} // namespace cgct

@@ -1,0 +1,61 @@
+#include "event/event_queue.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    if (when < now_)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    heap_.push(Item{when, static_cast<int>(prio), seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is the
+    // standard workaround for move-only payloads kept in a pq.
+    Item item = std::move(const_cast<Item &>(heap_.top()));
+    heap_.pop();
+    now_ = item.when;
+    ++executed_;
+    item.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when < until) {
+        runOne();
+        ++n;
+    }
+    if (now_ < until && n > 0)
+        now_ = until;
+    return n;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace cgct

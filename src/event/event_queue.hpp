@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. Components schedule callbacks at
+ * absolute ticks; the queue executes them in (tick, priority, insertion
+ * order) order, so simulations are fully deterministic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cgct {
+
+/**
+ * Priority classes for events scheduled at the same tick. Lower runs first.
+ * Coherence actions (snoops) are ordered before data deliveries before CPU
+ * progress so that state is settled before consumers observe it.
+ */
+enum class EventPriority : int {
+    Snoop = 0,
+    Memory = 1,
+    Data = 2,
+    Cpu = 3,
+    Default = 4,
+};
+
+/** The event queue / simulation kernel. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in CPU cycles. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(now_ + delay, std::move(cb), prio);
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Execute the next event; returns false if the queue was empty. */
+    bool runOne();
+
+    /** Run until the queue is empty or @p max_events were executed. */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /** Run until simulated time reaches @p until (exclusive) or empty. */
+    std::uint64_t runUntil(Tick until);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Drop all pending events (used between simulation phases). */
+    void clear();
+
+  private:
+    struct Item {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cgct

@@ -1,0 +1,158 @@
+#include "interconnect/bus.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+Bus::Bus(EventQueue &eq, const InterconnectParams &params,
+         const AddressMap &map, DataNetwork &data_net,
+         std::vector<MemoryController *> mem_ctrls)
+    : eq_(eq), params_(params), map_(map), dataNet_(data_net),
+      memCtrls_(std::move(mem_ctrls))
+{
+}
+
+void
+Bus::addClient(SnoopClient *client)
+{
+    clients_.push_back(client);
+}
+
+void
+Bus::broadcast(const SystemRequest &req, ResponseFn fn)
+{
+    queue_.push_back(Pending{req, std::move(fn), eq_.now()});
+    if (!grantScheduled_)
+        scheduleGrant();
+}
+
+void
+Bus::scheduleGrant()
+{
+    grantScheduled_ = true;
+    const Tick when =
+        nextFreeSlot_ > eq_.now() ? nextFreeSlot_ : eq_.now();
+    eq_.schedule(when, [this] { grant(); }, EventPriority::Snoop);
+}
+
+void
+Bus::grant()
+{
+    grantScheduled_ = false;
+    if (queue_.empty())
+        return;
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+
+    const Tick now = eq_.now();
+    stats_.queueCycles += now - p.enqueued;
+    ++stats_.broadcasts;
+    traffic_.note(now);
+    nextFreeSlot_ = now + params_.busSlot;
+
+    // The snoop resolves a fixed latency after the broadcast slot.
+    eq_.schedule(now + params_.snoopLatency,
+                 [this, p = std::move(p)]() mutable {
+                     resolve(p.req, std::move(p.fn));
+                 },
+                 EventPriority::Snoop);
+
+    if (!queue_.empty())
+        scheduleGrant();
+}
+
+void
+Bus::resolve(const SystemRequest &req, ResponseFn fn)
+{
+    const Tick now = eq_.now();
+
+    // Let the oracle classify the broadcast against pre-snoop cache state.
+    if (observer_)
+        observer_(req);
+
+    // Phase 1: conventional line snoop on every other processor.
+    SnoopResponse resp;
+    const SnoopKind kind = snoopKindOf(req.type);
+    for (SnoopClient *client : clients_) {
+        if (client->cpuId() == req.cpu)
+            continue;
+        resp.line.fold(client->cpuId(), client->snoopLine(req));
+    }
+
+    // What copy will the requester end up with? DCB flush/invalidate ops
+    // count as exclusive for the region downgrade: no remote copy of the
+    // line survives them.
+    const bool gets_exclusive =
+        wantsExclusive(req.type) || isDcbOp(req.type) ||
+        ((req.type == RequestType::Read ||
+          req.type == RequestType::Prefetch) && !resp.line.anyCopy);
+
+    // Phase 2: region snoop — gather the paper's two response bits and
+    // apply the Figure 5 downgrades on the other processors. Write-backs
+    // need no region information and must not downgrade anyone.
+    if (req.type != RequestType::Writeback) {
+        for (SnoopClient *client : clients_) {
+            if (client->cpuId() == req.cpu)
+                continue;
+            resp.region.merge(client->snoopRegion(req, gets_exclusive));
+        }
+    }
+
+    // The snoop response identifies the owning memory controller; the
+    // requester's RCA caches it for direct write-backs (Section 5.1).
+    resp.memCtrl = map_.controllerOf(req.lineAddr);
+    MemoryController *mc = memCtrls_[static_cast<unsigned>(resp.memCtrl)];
+
+    Tick data_ready = now;
+    const bool needs_data = kind == SnoopKind::Read ||
+                            kind == SnoopKind::ReadInvalidate;
+    if (req.type == RequestType::Writeback) {
+        mc->acceptWriteback(now);
+    } else if (resp.line.anyWroteBack) {
+        mc->acceptWriteback(now);
+    }
+
+    if (needs_data) {
+        if (resp.line.cacheSupplied) {
+            ++stats_.cacheToCache;
+            const Distance d = map_.cpuToCpu(req.cpu, resp.line.supplier);
+            data_ready = dataNet_.deliver(req.cpu, now, d, 64);
+        } else {
+            ++stats_.memorySupplied;
+            const Tick from_mem = mc->accessOverlapped(now);
+            const Distance d = map_.distanceToCtrl(req.cpu, resp.memCtrl);
+            data_ready = dataNet_.deliver(req.cpu, from_mem, d, 64);
+        }
+    }
+
+    fn(resp, data_ready);
+}
+
+void
+Bus::addStats(StatGroup &group) const
+{
+    group.addScalar("bus.broadcasts", "requests broadcast on the bus",
+                    &stats_.broadcasts);
+    group.addScalar("bus.queue_cycles",
+                    "total cycles requests waited for arbitration",
+                    &stats_.queueCycles);
+    group.addScalar("bus.cache_to_cache",
+                    "reads whose data came from another cache",
+                    &stats_.cacheToCache);
+    group.addScalar("bus.memory_supplied",
+                    "reads whose data came from DRAM",
+                    &stats_.memorySupplied);
+    group.addDerived("bus.avg_per_100k",
+                     "average broadcasts per 100K cycles",
+                     [this] {
+                         return traffic_.averagePerWindow(eq_.now());
+                     });
+    group.addDerived("bus.peak_per_100k",
+                     "peak broadcasts in any 100K-cycle window",
+                     [this] {
+                         return static_cast<double>(
+                             traffic_.peakWindowCount());
+                     });
+}
+
+} // namespace cgct

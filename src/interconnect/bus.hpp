@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Broadcast address network (Fireplane-like). The bus is the coherence
+ * ordering point: requests arbitrate for a slot, are broadcast to every
+ * processor, and resolve 16 system cycles later when all snoop responses
+ * (line state plus the CGCT region bits) have been combined. For requests
+ * served by memory, the DRAM access is started in parallel with the snoop
+ * (Figure 6), so only the overlapped-extra latency remains afterwards.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "coherence/snoop.hpp"
+#include "event/event_queue.hpp"
+#include "interconnect/data_network.hpp"
+#include "mem/address_map.hpp"
+#include "mem/memory_controller.hpp"
+
+namespace cgct {
+
+/**
+ * Interface every processor node exposes to the bus. Snoops are applied in
+ * two phases at the resolution tick: first the conventional line snoop
+ * (which mutates MOESI state), then the region snoop (which reports the
+ * CGCT region bits and applies the Figure 5 downgrade).
+ */
+class SnoopClient
+{
+  public:
+    virtual ~SnoopClient() = default;
+
+    virtual CpuId cpuId() const = 0;
+
+    /** Apply the line-level snoop and report the outcome. */
+    virtual LineSnoopOutcome snoopLine(const SystemRequest &req) = 0;
+
+    /**
+     * Report this processor's region-status bits for the request's region
+     * and apply the external-request downgrade.
+     * @param requester_gets_exclusive whether the requester will end up
+     *        with a modifiable (or silently-upgradable) copy of the line.
+     */
+    virtual RegionSnoopBits
+    snoopRegion(const SystemRequest &req, bool requester_gets_exclusive) = 0;
+};
+
+/** The broadcast address bus plus snoop-response combining logic. */
+class Bus
+{
+  public:
+    /**
+     * Called with the aggregated response when the snoop resolves.
+     * @param data_ready tick when the critical word reaches the requester
+     *        (equals the resolution tick for requests without data).
+     */
+    using ResponseFn =
+        std::function<void(const SnoopResponse &, Tick data_ready)>;
+
+    /** Observer invoked at resolution time *before* any state changes. */
+    using Observer = std::function<void(const SystemRequest &)>;
+
+    Bus(EventQueue &eq, const InterconnectParams &params,
+        const AddressMap &map, DataNetwork &data_net,
+        std::vector<MemoryController *> mem_ctrls);
+
+    /** Register a processor node. */
+    void addClient(SnoopClient *client);
+
+    /** Register a pre-snoop observer (the unnecessary-broadcast oracle). */
+    void setObserver(Observer obs) { observer_ = std::move(obs); }
+
+    /**
+     * Broadcast @p req, invoking @p fn at resolution. Must be called at
+     * the issuing event's time (requests are granted FCFS).
+     */
+    void broadcast(const SystemRequest &req, ResponseFn fn);
+
+    struct Stats {
+        std::uint64_t broadcasts = 0;
+        std::uint64_t queueCycles = 0;      ///< Arbitration wait.
+        std::uint64_t cacheToCache = 0;     ///< Data supplied by a cache.
+        std::uint64_t memorySupplied = 0;   ///< Data supplied by DRAM.
+    };
+
+    const Stats &stats() const { return stats_; }
+    const IntervalTracker &traffic() const { return traffic_; }
+    IntervalTracker &traffic() { return traffic_; }
+
+    void addStats(StatGroup &group) const;
+
+    /** Clear counters; traffic windows restart at @p now. */
+    void
+    resetStats(Tick now)
+    {
+        stats_ = Stats{};
+        traffic_.reset(now);
+    }
+
+  private:
+    struct Pending {
+        SystemRequest req;
+        ResponseFn fn;
+        Tick enqueued;
+    };
+
+    void scheduleGrant();
+    void grant();
+    void resolve(const SystemRequest &req, ResponseFn fn);
+
+    EventQueue &eq_;
+    InterconnectParams params_;
+    const AddressMap &map_;
+    DataNetwork &dataNet_;
+    std::vector<MemoryController *> memCtrls_;
+    std::vector<SnoopClient *> clients_;
+    Observer observer_;
+
+    std::deque<Pending> queue_;
+    bool grantScheduled_ = false;
+    Tick nextFreeSlot_ = 0;
+
+    Stats stats_;
+    IntervalTracker traffic_{100000};
+};
+
+} // namespace cgct

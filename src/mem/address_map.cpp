@@ -1,0 +1,4 @@
+#include "mem/address_map.hpp"
+
+// AddressMap is header-only today; this translation unit anchors the
+// module so future non-inline additions have a home.

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Physical address map: which memory controller owns an address, and how
+ * far that controller is from a given processor.
+ *
+ * The paper notes (Section 5.1) that in real systems "it is difficult for
+ * all the processors to track the mapping of physical addresses to memory
+ * controllers" — which is why baseline write-backs are broadcast, and why
+ * the RCA caches a memory-controller index per region. In the simulator the
+ * map itself is a simple interleave of the physical address space across
+ * the per-chip controllers; the *processors* only learn it through snoop
+ * responses (or the RCA), never by decoding addresses themselves.
+ */
+
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace cgct {
+
+/** Deterministic address → memory-controller mapping plus distances. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const TopologyParams &topo) : topo_(topo) {}
+
+    /** Memory controller (one per chip) owning @p addr. */
+    MemCtrlId
+    controllerOf(Addr addr) const
+    {
+        const auto block = addr / topo_.interleaveBytes;
+        return static_cast<MemCtrlId>(block % topo_.numMemCtrls());
+    }
+
+    /** Distance class from @p cpu to the controller of @p addr. */
+    Distance
+    distance(CpuId cpu, Addr addr) const
+    {
+        return topo_.distanceCpuToChip(cpu,
+                                       static_cast<unsigned>(
+                                           controllerOf(addr)));
+    }
+
+    /** Distance class from @p cpu to controller @p mc. */
+    Distance
+    distanceToCtrl(CpuId cpu, MemCtrlId mc) const
+    {
+        return topo_.distanceCpuToChip(cpu, static_cast<unsigned>(mc));
+    }
+
+    /** Distance class between two processors (for cache-to-cache data). */
+    Distance
+    cpuToCpu(CpuId a, CpuId b) const
+    {
+        return topo_.distanceCpuToChip(a, topo_.chipOfCpu(b));
+    }
+
+    unsigned numControllers() const { return topo_.numMemCtrls(); }
+
+  private:
+    TopologyParams topo_;
+};
+
+} // namespace cgct

@@ -1,0 +1,64 @@
+#include "mem/memory_controller.hpp"
+
+#include <string>
+
+namespace cgct {
+
+MemoryController::MemoryController(MemCtrlId id, EventQueue &eq,
+                                   const InterconnectParams &params)
+    : id_(id), eq_(eq), params_(params)
+{
+}
+
+Tick
+MemoryController::claimSlot(Tick at)
+{
+    const Tick start = at > nextFreeSlot_ ? at : nextFreeSlot_;
+    stats_.queuedCycles += start - at;
+    nextFreeSlot_ = start + params_.memCtrlSlot;
+    return start;
+}
+
+Tick
+MemoryController::accessOverlapped(Tick snoop_done)
+{
+    ++stats_.overlappedReads;
+    // The row access was started when the request was broadcast; by the
+    // time the snoop resolves only the tail of the DRAM access remains.
+    const Tick start = claimSlot(snoop_done);
+    return start + params_.dramOverlappedExtra;
+}
+
+Tick
+MemoryController::accessDirect(Tick arrival)
+{
+    ++stats_.directReads;
+    const Tick start = claimSlot(arrival);
+    return start + params_.dramLatency;
+}
+
+void
+MemoryController::acceptWriteback(Tick arrival)
+{
+    ++stats_.writebacks;
+    claimSlot(arrival);
+}
+
+void
+MemoryController::addStats(StatGroup &group) const
+{
+    const std::string p = "mc" + std::to_string(id_) + ".";
+    group.addScalar(p + "overlapped_reads",
+                    "reads serviced with snoop-overlapped DRAM access",
+                    &stats_.overlappedReads);
+    group.addScalar(p + "direct_reads",
+                    "reads serviced by CGCT direct requests",
+                    &stats_.directReads);
+    group.addScalar(p + "writebacks", "write-backs sunk",
+                    &stats_.writebacks);
+    group.addScalar(p + "queued_cycles",
+                    "total cycles requests waited for an initiation slot",
+                    &stats_.queuedCycles);
+}
+
+} // namespace cgct

@@ -1,0 +1,92 @@
+#include "sim/json_stats.hpp"
+
+#include <sstream>
+
+namespace cgct {
+
+namespace {
+
+void
+field(std::ostringstream &os, const std::string &indent, const char *name,
+      double v, bool last = false)
+{
+    os << indent << "  \"" << name << "\": " << v << (last ? "\n" : ",\n");
+}
+
+void
+field(std::ostringstream &os, const std::string &indent, const char *name,
+      std::uint64_t v, bool last = false)
+{
+    os << indent << "  \"" << name << "\": " << v << (last ? "\n" : ",\n");
+}
+
+void
+catArray(std::ostringstream &os, const std::string &indent,
+         const char *name, const std::uint64_t (&a)[RunResult::kNumCat])
+{
+    os << indent << "  \"" << name << "\": [";
+    for (std::size_t i = 0; i < RunResult::kNumCat; ++i)
+        os << a[i] << (i + 1 < RunResult::kNumCat ? ", " : "");
+    os << "],\n";
+}
+
+} // namespace
+
+std::string
+toJson(const RunResult &r, const std::string &indent)
+{
+    std::ostringstream os;
+    os << indent << "{\n";
+    os << indent << "  \"workload\": \"" << r.workload << "\",\n";
+    field(os, indent, "region_bytes", r.regionBytes);
+    field(os, indent, "cycles", static_cast<std::uint64_t>(r.cycles));
+    field(os, indent, "instructions", r.instructions);
+    field(os, indent, "requests_total", r.requestsTotal);
+    field(os, indent, "broadcasts", r.broadcasts);
+    field(os, indent, "directs", r.directs);
+    field(os, indent, "locals", r.locals);
+    field(os, indent, "writebacks", r.writebacks);
+    catArray(os, indent, "broadcasts_by_category", r.broadcastsByCat);
+    catArray(os, indent, "directs_by_category", r.directsByCat);
+    catArray(os, indent, "locals_by_category", r.localsByCat);
+    field(os, indent, "oracle_total", r.oracleTotal);
+    field(os, indent, "oracle_unnecessary", r.oracleUnnecessary);
+    catArray(os, indent, "oracle_total_by_category", r.oracleTotalByCat);
+    catArray(os, indent, "oracle_unnecessary_by_category",
+             r.oracleUnnecessaryByCat);
+    field(os, indent, "avg_broadcasts_per_100k", r.avgBroadcastsPer100k);
+    field(os, indent, "peak_broadcasts_per_100k",
+          r.peakBroadcastsPer100k);
+    field(os, indent, "l2_miss_ratio", r.l2MissRatio);
+    field(os, indent, "avg_miss_latency", r.avgMissLatency);
+    field(os, indent, "cache_to_cache", r.cacheToCache);
+    field(os, indent, "memory_supplied", r.memorySupplied);
+    field(os, indent, "rca_evicted_empty", r.rcaEvictedEmpty);
+    field(os, indent, "rca_evicted_one", r.rcaEvictedOne);
+    field(os, indent, "rca_evicted_two", r.rcaEvictedTwo);
+    field(os, indent, "rca_evicted_more", r.rcaEvictedMore);
+    field(os, indent, "rca_self_invalidations", r.rcaSelfInvalidations);
+    field(os, indent, "inclusion_writebacks", r.inclusionWritebacks);
+    field(os, indent, "avg_lines_per_evicted_region",
+          r.avgLinesPerEvictedRegion);
+    field(os, indent, "avoided_fraction", r.avoidedFraction());
+    field(os, indent, "oracle_unnecessary_fraction",
+          r.oracleUnnecessaryFraction(), /*last=*/true);
+    os << indent << "}";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << toJson(results[i], "  ");
+        os << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    return os.str();
+}
+
+} // namespace cgct

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Machine-readable results: serialize a RunResult (and batches of them)
+ * to JSON for plotting scripts and regression tracking. No external JSON
+ * dependency — the schema is flat and the writer is ~100 lines.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cgct {
+
+/** Serialize one run. @p indent prefixes every line (pretty printing). */
+std::string toJson(const RunResult &result, const std::string &indent = "");
+
+/** Serialize a batch as a JSON array. */
+std::string toJson(const std::vector<RunResult> &results);
+
+} // namespace cgct

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * A processor node (Figure 1 of the paper): the two L1 caches, the unified
+ * L2 (the system's coherence point), the MSHR file, the stream prefetcher,
+ * and — when CGCT is enabled — the Region Coherence Array controller that
+ * routes requests directly to memory when the region state allows it.
+ *
+ * Coherence model: the bus resolution event is the ordering point; line
+ * and region state changes are applied atomically there, while data
+ * arrival only affects timing (readyTick on the line). Direct requests
+ * apply their state changes at issue, which is safe because the region
+ * protocol guarantees no other processor holds a conflicting copy.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/mshr.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/cgct_controller.hpp"
+#include "event/event_queue.hpp"
+#include "interconnect/bus.hpp"
+#include "interconnect/data_network.hpp"
+#include "mem/address_map.hpp"
+#include "mem/memory_controller.hpp"
+#include "prefetch/stream_prefetcher.hpp"
+
+namespace cgct {
+
+/** One processor node. */
+class Node : public SnoopClient
+{
+  public:
+    /** Completion callback: @p ready is when the op's data is usable. */
+    using CompletionFn = std::function<void(Tick ready)>;
+
+    Node(CpuId cpu, const SystemConfig &config, EventQueue &eq, Bus &bus,
+         DataNetwork &data_net, const AddressMap &map,
+         std::vector<MemoryController *> mem_ctrls,
+         std::shared_ptr<RegionTracker> tracker);
+
+    /**
+     * Perform a processor memory operation at local time @p now.
+     * @return true if resolved synchronously (@p ready_out is set);
+     *         false if @p done will be invoked when the op resolves.
+     */
+    bool access(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
+                CompletionFn done);
+
+    /** True while another outstanding miss can be accepted. */
+    bool canAcceptMiss() const { return !mshr_.full(); }
+
+    // SnoopClient interface (external requests arriving from the bus).
+    CpuId cpuId() const override { return cpu_; }
+    LineSnoopOutcome snoopLine(const SystemRequest &req) override;
+    RegionSnoopBits snoopRegion(const SystemRequest &req,
+                                bool requester_gets_exclusive) override;
+
+    /** Side-effect-free L2 state probe (oracle, tests). */
+    LineState peekLine(Addr addr) const;
+
+    /** Region tracker (nullptr in the baseline configuration). */
+    RegionTracker *tracker() { return tracker_.get(); }
+    const RegionTracker *tracker() const { return tracker_.get(); }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    StreamPrefetcher &prefetcher() { return prefetcher_; }
+
+    /** Per-node request statistics, broken down for Figures 2 and 7. */
+    struct Stats {
+        static constexpr std::size_t kNumCat =
+            static_cast<std::size_t>(RequestCategory::NumCategories);
+
+        std::uint64_t requestsTotal = 0;     ///< All system requests.
+        std::uint64_t broadcasts = 0;
+        std::uint64_t directs = 0;
+        std::uint64_t localCompletes = 0;
+        std::uint64_t broadcastsByCat[kNumCat] = {};
+        std::uint64_t directsByCat[kNumCat] = {};
+        std::uint64_t localByCat[kNumCat] = {};
+        std::uint64_t writebacksIssued = 0;
+        std::uint64_t demandMisses = 0;
+        std::uint64_t prefetchesIssued = 0;
+        std::uint64_t upgradeRaces = 0;      ///< Upgrade lost the line.
+        std::uint64_t inclusionWritebacks = 0; ///< From region flushes.
+        std::uint64_t snoopsReceived = 0;
+        std::uint64_t tagWaitCycles = 0;     ///< Local accesses stalled
+                                             ///< behind snoop lookups.
+        std::uint64_t memLatencySum = 0;     ///< Demand-miss latency.
+        std::uint64_t memLatencyCount = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+    void resetStats();
+    void addStats(StatGroup &group) const;
+
+    /**
+     * Verify structural invariants (tests): L1s inclusive under L2, and —
+     * with CGCT — RCA inclusion over the L2 plus exact per-region line
+     * counts. @return a description of the first violation, or empty.
+     */
+    std::string checkInvariants() const;
+
+  private:
+    /** Handle an access that reached the L2. */
+    bool accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
+                  CompletionFn done);
+
+    /** Issue (or queue) a request to the system. */
+    void issueSystemRequest(RequestType type, Addr line_addr, Tick now,
+                            CompletionFn done, bool is_prefetch);
+
+    /** The request, with an MSHR (if needed) already claimed. */
+    void dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
+                               CompletionFn done, bool is_prefetch);
+
+    /** Handle a broadcast's snoop response (ordering-point event). */
+    void handleBroadcastResponse(RequestType type, Addr line_addr,
+                                 const SnoopResponse &resp, Tick data_ready,
+                                 CompletionFn done, bool is_prefetch);
+
+    /** Issue a direct-to-memory request (region permission held). */
+    void issueDirect(RequestType type, Addr line_addr, MemCtrlId mc,
+                     Tick now, CompletionFn done, bool is_prefetch);
+
+    /** Complete a request locally with no external request. */
+    void completeLocally(RequestType type, Addr line_addr, Tick now,
+                         CompletionFn done);
+
+    /** Install a line into the L2 (and bookkeeping around eviction). */
+    void installL2Line(Addr line_addr, LineState state, Tick now,
+                       Tick ready);
+
+    /** Move/refresh the line into the right L1 after an L2 resolution. */
+    void fillL1(CpuOpKind kind, Addr addr, Tick now, Tick ready);
+
+    /** Evict a line from L2: back-invalidate L1s, write back if dirty. */
+    void evictL2Line(Addr line_addr, LineState state, Tick now);
+
+    /** Send a write-back for @p line_addr to the system. */
+    void issueWriteback(Addr line_addr, Tick now);
+
+    /** Region-eviction flush: push the region's lines out (inclusion). */
+    void flushRegion(Addr region_addr, std::uint64_t region_bytes,
+                     MemCtrlId mc, Tick now);
+
+    /** Run the stream prefetcher after a demand L2 access. */
+    void maybePrefetch(Addr line_addr, bool is_store, bool was_miss,
+                       Tick now);
+
+    /** Release an MSHR and start a queued request if one is waiting. */
+    void releaseMshr(Addr line_addr);
+
+    /** Record a completed demand miss's latency. */
+    void noteMissLatency(Tick issued, Tick ready);
+
+    CpuId cpu_;
+    const SystemConfig &config_;
+    EventQueue &eq_;
+    Bus &bus_;
+    DataNetwork &dataNet_;
+    const AddressMap &map_;
+    std::vector<MemoryController *> memCtrls_;
+    std::shared_ptr<RegionTracker> tracker_;
+
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    MshrFile mshr_;
+    StreamPrefetcher prefetcher_;
+
+    /** Waiters merged onto an in-flight fill, keyed by line address. */
+    std::unordered_map<Addr, std::vector<CompletionFn>> fillWaiters_;
+
+    /** Requests postponed because the MSHR file was full. */
+    struct PendingMiss {
+        RequestType type;
+        Addr lineAddr;
+        CompletionFn done;
+        bool isPrefetch;
+        Tick queuedAt = 0;
+    };
+    std::deque<PendingMiss> pendingMisses_;
+
+    /**
+     * Requests to a region whose first broadcast (the region acquisition)
+     * is still in flight: they wait for the region snoop response instead
+     * of broadcasting line by line. Keyed by region-aligned address.
+     */
+    std::unordered_map<Addr, std::vector<PendingMiss>> pendingRegionAcq_;
+    /** Suppress re-marking acquisitions while draining a region queue. */
+    bool drainingRegion_ = false;
+
+    std::vector<PrefetchCandidate> prefetchScratch_;
+    /** L2 tag port busy (incoming snoops) until this tick. */
+    Tick l2TagBusy_ = 0;
+    Stats stats_;
+};
+
+} // namespace cgct

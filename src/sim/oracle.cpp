@@ -1,0 +1,66 @@
+#include "sim/oracle.hpp"
+
+#include "sim/node.hpp"
+
+namespace cgct {
+
+void
+Oracle::observe(const SystemRequest &req)
+{
+    bool any_copy = false;
+    bool any_dirty = false;
+    for (Node *node : nodes_) {
+        if (node->cpuId() == req.cpu)
+            continue;
+        const LineState s = node->peekLine(req.lineAddr);
+        if (isValid(s))
+            any_copy = true;
+        if (isDirty(s))
+            any_dirty = true;
+    }
+
+    bool needed;
+    switch (req.type) {
+      case RequestType::Writeback:
+        needed = false;
+        break;
+      case RequestType::Ifetch:
+      case RequestType::Prefetch:
+        needed = any_dirty;
+        break;
+      default:
+        needed = any_copy;
+        break;
+    }
+
+    const auto cat = static_cast<std::size_t>(categoryOf(req.type));
+    ++byCat_[cat].total;
+    ++total_;
+    if (!needed) {
+        ++byCat_[cat].unnecessary;
+        ++unnecessary_;
+    }
+}
+
+void
+Oracle::reset()
+{
+    for (auto &c : byCat_)
+        c = Counts{};
+    total_ = 0;
+    unnecessary_ = 0;
+}
+
+void
+Oracle::addStats(StatGroup &group) const
+{
+    group.addScalar("oracle.broadcasts", "broadcasts observed", &total_);
+    group.addScalar("oracle.unnecessary",
+                    "broadcasts an oracle would have avoided",
+                    &unnecessary_);
+    group.addDerived("oracle.unnecessary_fraction",
+                     "fraction of broadcasts that were unnecessary",
+                     [this] { return unnecessaryFraction(); });
+}
+
+} // namespace cgct

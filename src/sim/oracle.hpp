@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The unnecessary-broadcast oracle of Figure 2: at every broadcast, before
+ * any snoop-induced state change, it inspects every other processor's cache
+ * and decides whether the broadcast was actually needed:
+ *
+ *  - write-backs never need a broadcast (only the controller must see them);
+ *  - instruction fetches (and shared prefetches) need one only if some
+ *    other cache holds a *modified* copy of the line;
+ *  - everything else (data reads/writes, upgrades, DCB operations) needs
+ *    one only if some other cache holds *any* copy of the line.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "coherence/snoop.hpp"
+
+namespace cgct {
+
+class Node;
+
+/** Classifies every broadcast as necessary or unnecessary. */
+class Oracle
+{
+  public:
+    explicit Oracle(std::vector<Node *> nodes) : nodes_(std::move(nodes)) {}
+
+    /** Bus pre-snoop observer. */
+    void observe(const SystemRequest &req);
+
+    /** Per-category tallies. */
+    struct Counts {
+        std::uint64_t total = 0;
+        std::uint64_t unnecessary = 0;
+    };
+
+    const Counts &
+    category(RequestCategory cat) const
+    {
+        return byCat_[static_cast<std::size_t>(cat)];
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t unnecessary() const { return unnecessary_; }
+
+    double
+    unnecessaryFraction() const
+    {
+        return total_ ? static_cast<double>(unnecessary_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    void reset();
+    void addStats(StatGroup &group) const;
+
+  private:
+    std::vector<Node *> nodes_;
+    Counts byCat_[static_cast<std::size_t>(RequestCategory::NumCategories)];
+    std::uint64_t total_ = 0;
+    std::uint64_t unnecessary_ = 0;
+};
+
+} // namespace cgct

@@ -1,0 +1,150 @@
+#include "sim/simulator.hpp"
+
+#include "common/log.hpp"
+#include "sim/system.hpp"
+#include "workload/generator.hpp"
+
+namespace cgct {
+
+namespace {
+
+/** Periodically checks whether every core has drawn its warmup ops. */
+void
+scheduleWarmupCheck(System &sys, SyntheticWorkload &workload,
+                    std::uint64_t warmup_ops, Tick *measure_start)
+{
+    constexpr Tick kCheckInterval = 5000;
+    sys.eq().scheduleIn(kCheckInterval, [&sys, &workload, warmup_ops,
+                                         measure_start] {
+        if (workload.minOpsDrawn() >= warmup_ops) {
+            *measure_start = sys.eq().now();
+            sys.resetStats(sys.eq().now());
+            return; // Warmed up: stop checking.
+        }
+        if (!sys.allCoresFinished())
+            scheduleWarmupCheck(sys, workload, warmup_ops, measure_start);
+    });
+}
+
+} // namespace
+
+RunResult
+simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
+             const RunOptions &opts)
+{
+    SyntheticWorkload workload(profile, config.topology.numCpus,
+                               opts.opsPerCpu, opts.seed);
+    System sys(config, workload);
+
+    Tick measure_start = 0;
+    sys.start();
+    if (opts.warmupOps > 0 && opts.warmupOps < opts.opsPerCpu)
+        scheduleWarmupCheck(sys, workload, opts.warmupOps, &measure_start);
+
+    const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+    if (executed >= opts.maxEvents)
+        fatal("simulateOnce: event cap hit (%llu) — runaway simulation?",
+              static_cast<unsigned long long>(opts.maxEvents));
+    if (!sys.allCoresFinished())
+        panic("simulateOnce: event queue drained before cores finished");
+
+    RunResult r;
+    r.workload = profile.name;
+    r.regionBytes = config.cgct.enabled ? config.cgct.regionBytes : 0;
+    r.cycles = sys.maxCoreClock() - measure_start;
+
+    for (unsigned i = 0; i < sys.numCpus(); ++i) {
+        const Node::Stats &ns = sys.node(i).stats();
+        r.requestsTotal += ns.requestsTotal;
+        r.broadcasts += ns.broadcasts;
+        r.directs += ns.directs;
+        r.locals += ns.localCompletes;
+        r.writebacks += ns.writebacksIssued;
+        for (std::size_t c = 0; c < RunResult::kNumCat; ++c) {
+            r.broadcastsByCat[c] += ns.broadcastsByCat[c];
+            r.directsByCat[c] += ns.directsByCat[c];
+            r.localsByCat[c] += ns.localByCat[c];
+        }
+        r.inclusionWritebacks += ns.inclusionWritebacks;
+        r.instructions += sys.core(i).instructions();
+
+        if (auto *tracker = sys.node(i).tracker()) {
+            if (auto *cgct = dynamic_cast<CgctController *>(tracker)) {
+                const auto &rs = cgct->rca().stats();
+                r.rcaEvictedEmpty += rs.evictedEmpty;
+                r.rcaEvictedOne += rs.evictedOneLine;
+                r.rcaEvictedTwo += rs.evictedTwoLines;
+                r.rcaEvictedMore += rs.evictedMoreLines;
+                r.rcaSelfInvalidations += rs.selfInvalidations;
+                if (rs.lineCountSamples > 0) {
+                    r.avgLinesPerEvictedRegion +=
+                        static_cast<double>(rs.lineCountSum) /
+                        static_cast<double>(rs.lineCountSamples);
+                }
+            }
+        }
+    }
+
+    // Convert the accumulators into proper averages.
+    {
+        std::uint64_t probes = 0;
+        std::uint64_t lat_count = 0;
+        double lat_sum = 0.0;
+        double misses = 0.0;
+        for (unsigned i = 0; i < sys.numCpus(); ++i) {
+            const Cache::Stats &l2s = sys.node(i).l2().stats();
+            probes += l2s.hits + l2s.misses;
+            misses += static_cast<double>(l2s.misses);
+            lat_sum += static_cast<double>(sys.node(i).stats().memLatencySum);
+            lat_count += sys.node(i).stats().memLatencyCount;
+        }
+        r.l2MissRatio = probes ? misses / static_cast<double>(probes) : 0.0;
+        r.avgMissLatency = lat_count
+                               ? lat_sum / static_cast<double>(lat_count)
+                               : 0.0;
+        r.avgLinesPerEvictedRegion /= sys.numCpus();
+    }
+
+    const Oracle &oracle = sys.oracle();
+    r.oracleTotal = oracle.total();
+    r.oracleUnnecessary = oracle.unnecessary();
+    for (std::size_t c = 0; c < RunResult::kNumCat; ++c) {
+        const auto &counts =
+            oracle.category(static_cast<RequestCategory>(c));
+        r.oracleTotalByCat[c] = counts.total;
+        r.oracleUnnecessaryByCat[c] = counts.unnecessary;
+    }
+
+    r.avgBroadcastsPer100k =
+        sys.bus().traffic().averagePerWindow(sys.eq().now());
+    r.peakBroadcastsPer100k =
+        static_cast<double>(sys.bus().traffic().peakWindowCount());
+    r.cacheToCache = sys.bus().stats().cacheToCache;
+    r.memorySupplied = sys.bus().stats().memorySupplied;
+    return r;
+}
+
+std::vector<RunResult>
+simulateSeeds(const SystemConfig &config, const WorkloadProfile &profile,
+              RunOptions opts, unsigned n_seeds)
+{
+    std::vector<RunResult> out;
+    out.reserve(n_seeds);
+    for (unsigned i = 0; i < n_seeds; ++i) {
+        opts.seed = opts.seed * 2654435761ULL + 12345 + i;
+        out.push_back(simulateOnce(config, profile, opts));
+    }
+    return out;
+}
+
+RunSummary
+runtimeSummary(const std::vector<RunResult> &runs)
+{
+    std::vector<double> cycles;
+    cycles.reserve(runs.size());
+    for (const auto &r : runs)
+        cycles.push_back(static_cast<double>(r.cycles));
+    return summarize(cycles);
+}
+
+} // namespace cgct

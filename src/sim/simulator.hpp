@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Run harness: builds a System around a synthetic workload, warms it up,
+ * measures, and returns a RunResult with everything the benches need to
+ * reproduce the paper's figures. Multi-seed helpers implement the paper's
+ * variability methodology (several perturbed runs, 95% confidence
+ * intervals, after Alameldeen et al. [27]).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/confidence.hpp"
+#include "common/types.hpp"
+#include "workload/profile.hpp"
+
+namespace cgct {
+
+/** Knobs for one simulation. */
+struct RunOptions {
+    std::uint64_t opsPerCpu = 200000;
+    std::uint64_t warmupOps = 40000;   ///< 0 disables warmup reset.
+    std::uint64_t seed = 1;
+    /** Hard event cap (runaway guard). */
+    std::uint64_t maxEvents = 2000000000ULL;
+};
+
+/** Everything measured in one run. */
+struct RunResult {
+    static constexpr std::size_t kNumCat =
+        static_cast<std::size_t>(RequestCategory::NumCategories);
+
+    std::string workload;
+    std::uint64_t regionBytes = 0;   ///< 0 = baseline (CGCT off).
+
+    Tick cycles = 0;                 ///< Measured runtime.
+    std::uint64_t instructions = 0;  ///< Total retired, all CPUs.
+
+    // Request routing, summed over processors (measured window).
+    std::uint64_t requestsTotal = 0;
+    std::uint64_t broadcasts = 0;
+    std::uint64_t directs = 0;
+    std::uint64_t locals = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t broadcastsByCat[kNumCat] = {};
+    std::uint64_t directsByCat[kNumCat] = {};
+    std::uint64_t localsByCat[kNumCat] = {};
+
+    // Oracle (Figure 2), from the same run.
+    std::uint64_t oracleTotal = 0;
+    std::uint64_t oracleUnnecessary = 0;
+    std::uint64_t oracleTotalByCat[kNumCat] = {};
+    std::uint64_t oracleUnnecessaryByCat[kNumCat] = {};
+
+    // Traffic (Figure 10).
+    double avgBroadcastsPer100k = 0.0;
+    double peakBroadcastsPer100k = 0.0;
+
+    // Memory behavior.
+    double l2MissRatio = 0.0;
+    double avgMissLatency = 0.0;
+    std::uint64_t cacheToCache = 0;
+    std::uint64_t memorySupplied = 0;
+
+    // RCA behavior (Section 3.2), cumulative over the whole run.
+    std::uint64_t rcaEvictedEmpty = 0;
+    std::uint64_t rcaEvictedOne = 0;
+    std::uint64_t rcaEvictedTwo = 0;
+    std::uint64_t rcaEvictedMore = 0;
+    std::uint64_t rcaSelfInvalidations = 0;
+    std::uint64_t inclusionWritebacks = 0;
+    double avgLinesPerEvictedRegion = 0.0;
+
+    /** Fraction of requests that avoided a broadcast (direct + local). */
+    double
+    avoidedFraction() const
+    {
+        return requestsTotal
+                   ? static_cast<double>(directs + locals) /
+                         static_cast<double>(requestsTotal)
+                   : 0.0;
+    }
+
+    /** Oracle: fraction of broadcasts that were unnecessary. */
+    double
+    oracleUnnecessaryFraction() const
+    {
+        return oracleTotal
+                   ? static_cast<double>(oracleUnnecessary) /
+                         static_cast<double>(oracleTotal)
+                   : 0.0;
+    }
+};
+
+/** Run one simulation. */
+RunResult simulateOnce(const SystemConfig &config,
+                       const WorkloadProfile &profile,
+                       const RunOptions &opts);
+
+/** Run @p n_seeds simulations differing only in seed. */
+std::vector<RunResult> simulateSeeds(const SystemConfig &config,
+                                     const WorkloadProfile &profile,
+                                     RunOptions opts, unsigned n_seeds);
+
+/** Summarize the runtimes (cycles) of a batch of runs. */
+RunSummary runtimeSummary(const std::vector<RunResult> &runs);
+
+} // namespace cgct

@@ -1,0 +1,132 @@
+#include "sim/system.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace cgct {
+
+System::System(const SystemConfig &config, OpSource &source)
+    : config_(config), map_(config.topology)
+{
+    config_.validate();
+
+    const unsigned n_ctrl = config_.topology.numMemCtrls();
+    std::vector<MemoryController *> ctrl_ptrs;
+    for (unsigned i = 0; i < n_ctrl; ++i) {
+        memCtrls_.push_back(std::make_unique<MemoryController>(
+            static_cast<MemCtrlId>(i), eq_, config_.interconnect));
+        ctrl_ptrs.push_back(memCtrls_.back().get());
+    }
+
+    // One extra data-network link for the I/O bridge (DMA).
+    dataNet_ = std::make_unique<DataNetwork>(config_.topology.numCpus + 1,
+                                             config_.interconnect);
+    bus_ = std::make_unique<Bus>(eq_, config_.interconnect, map_,
+                                 *dataNet_, ctrl_ptrs);
+
+    // One tracker per core, or one per chip shared by its cores
+    // (Section 3.2) when configured.
+    std::vector<std::shared_ptr<RegionTracker>> chip_trackers(
+        config_.topology.numChips());
+    std::vector<Node *> node_ptrs;
+    for (unsigned i = 0; i < config_.topology.numCpus; ++i) {
+        std::shared_ptr<RegionTracker> tracker;
+        if (config_.cgct.enabled && config_.cgct.sharedPerChip) {
+            auto &slot = chip_trackers[config_.topology.chipOfCpu(
+                static_cast<CpuId>(i))];
+            if (!slot)
+                slot = makeTracker(static_cast<CpuId>(i), config_.cgct,
+                                   config_.l2.lineBytes);
+            tracker = slot;
+        } else {
+            tracker = makeTracker(static_cast<CpuId>(i), config_.cgct,
+                                  config_.l2.lineBytes);
+        }
+        nodes_.push_back(std::make_unique<Node>(
+            static_cast<CpuId>(i), config_, eq_, *bus_, *dataNet_, map_,
+            ctrl_ptrs, std::move(tracker)));
+        bus_->addClient(nodes_.back().get());
+        node_ptrs.push_back(nodes_.back().get());
+    }
+
+    oracle_ = std::make_unique<Oracle>(node_ptrs);
+    bus_->setObserver(
+        [this](const SystemRequest &req) { oracle_->observe(req); });
+
+    for (unsigned i = 0; i < config_.topology.numCpus; ++i) {
+        cores_.push_back(std::make_unique<CoreModel>(
+            static_cast<CpuId>(i), config_.core, eq_, *nodes_[i], source));
+    }
+
+    if (config_.dma.enabled) {
+        dma_ = std::make_unique<DmaEngine>(eq_, *bus_, config_.dma,
+                                           config_.topology,
+                                           /*seed=*/0x10b71d9e);
+    }
+}
+
+void
+System::start()
+{
+    for (auto &core : cores_)
+        core->start();
+    if (dma_) {
+        // The engine stops itself once every core has retired its stream,
+        // letting the event queue drain.
+        dma_->start([this] { return !allCoresFinished(); });
+    }
+}
+
+bool
+System::allCoresFinished() const
+{
+    for (const auto &core : cores_)
+        if (!core->finished())
+            return false;
+    return true;
+}
+
+Tick
+System::maxCoreClock() const
+{
+    Tick m = 0;
+    for (const auto &core : cores_)
+        m = std::max(m, core->clock());
+    return m;
+}
+
+void
+System::resetStats(Tick now)
+{
+    for (auto &node : nodes_)
+        node->resetStats();
+    for (auto &mc : memCtrls_)
+        mc->resetStats();
+    bus_->resetStats(now);
+    dataNet_->resetStats();
+    oracle_->reset();
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    {
+        StatGroup g("system");
+        oracle_->addStats(g);
+        bus_->addStats(g);
+        dataNet_->addStats(g);
+        if (dma_)
+            dma_->addStats(g);
+        for (const auto &mc : memCtrls_)
+            mc->addStats(g);
+        g.dump(os);
+    }
+    for (unsigned i = 0; i < nodes_.size(); ++i) {
+        StatGroup g("cpu" + std::to_string(i));
+        nodes_[i]->addStats(g);
+        cores_[i]->addStats(g);
+        g.dump(os);
+    }
+}
+
+} // namespace cgct

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Assembles the full simulated machine of Table 3: event queue, address
+ * map, per-chip memory controllers, data network, broadcast bus, one Node
+ * (caches + RCA) and one CoreModel per processor, and the oracle.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "cpu/core_model.hpp"
+#include "event/event_queue.hpp"
+#include "interconnect/bus.hpp"
+#include "interconnect/data_network.hpp"
+#include "mem/address_map.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/dma.hpp"
+#include "sim/node.hpp"
+#include "sim/oracle.hpp"
+
+namespace cgct {
+
+/** The whole machine. */
+class System
+{
+  public:
+    /**
+     * @param config validated system configuration
+     * @param source workload op streams (must outlive the system)
+     */
+    System(const SystemConfig &config, OpSource &source);
+
+    /** Kick off every core. */
+    void start();
+
+    EventQueue &eq() { return eq_; }
+    const SystemConfig &config() const { return config_; }
+    const AddressMap &addressMap() const { return map_; }
+    Bus &bus() { return *bus_; }
+    DataNetwork &dataNetwork() { return *dataNet_; }
+    Oracle &oracle() { return *oracle_; }
+    unsigned numCpus() const { return config_.topology.numCpus; }
+    Node &node(unsigned i) { return *nodes_[i]; }
+    CoreModel &core(unsigned i) { return *cores_[i]; }
+    MemoryController &memCtrl(unsigned i) { return *memCtrls_[i]; }
+    unsigned numMemCtrls() const
+    {
+        return static_cast<unsigned>(memCtrls_.size());
+    }
+
+    /** The DMA engine, or nullptr when config.dma.enabled is false. */
+    DmaEngine *dma() { return dma_.get(); }
+
+    bool allCoresFinished() const;
+    Tick maxCoreClock() const;
+
+    /** Reset all statistics at @p now (end of warmup). */
+    void resetStats(Tick now);
+
+    /** Dump every component's statistics. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig config_;
+    EventQueue eq_;
+    AddressMap map_;
+    std::vector<std::unique_ptr<MemoryController>> memCtrls_;
+    std::unique_ptr<DataNetwork> dataNet_;
+    std::unique_ptr<Bus> bus_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::unique_ptr<Oracle> oracle_;
+    std::unique_ptr<DmaEngine> dma_;
+};
+
+} // namespace cgct

@@ -1,0 +1,307 @@
+#include "workload/benchmarks.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+namespace {
+
+WorkloadProfile
+makeOcean()
+{
+    WorkloadProfile p;
+    p.name = "ocean";
+    p.description = "SPLASH-2 Ocean, 514x514 grid: regular sweeps over "
+                    "partitioned grids with nearest-neighbor edge sharing";
+    p.privateBytes = 4ULL << 20;  // This CPU's grid partitions.
+    p.sharedROBytes = 512 << 10;
+    p.codeBytes = 256 << 10;
+    p.rwObjects = 256;            // Partition-boundary strips.
+    p.rwObjectBytes = 2048;
+    p.zipf = 0.85;                // Sweeps revisit the same grids.
+    p.seqRunLines = 32.0;         // Long unit-stride runs.
+    p.refsPerLine = 3.0;
+    p.avgGap = 6.0;
+    PhaseSpec ph;
+    ph.pIfetch = 0.08;
+    ph.pSharedRW = 0.16;
+    ph.pMigrate = 0.5;
+    ph.pStoreOwned = 0.6;
+    ph.pStorePrivate = 0.45;
+    ph.pDependent = 0.22;
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeRaytrace()
+{
+    WorkloadProfile p;
+    p.name = "raytrace";
+    p.description = "SPLASH-2 Raytrace, car: large read-only scene shared "
+                    "by all processors, private ray stacks";
+    p.privateBytes = 1ULL << 20;
+    p.sharedROBytes = 8ULL << 20; // Scene; hot BSP levels are resident.
+    p.codeBytes = 512 << 10;
+    p.rwObjects = 64;             // Work-queue heads.
+    p.rwObjectBytes = 512;
+    p.zipf = 0.9;
+    p.seqRunLines = 4.0;
+    p.refsPerLine = 4.0;
+    p.avgGap = 5.0;
+    PhaseSpec ph;
+    ph.pIfetch = 0.12;
+    ph.pSharedRO = 0.45;
+    ph.pSharedRW = 0.04;
+    ph.pMigrate = 0.5;
+    ph.pStoreOwned = 0.6;
+    ph.pStorePrivate = 0.35;
+    ph.pDependent = 0.30;         // Pointer chasing through the BSP tree.
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeBarnes()
+{
+    WorkloadProfile p;
+    p.name = "barnes";
+    p.description = "SPLASH-2 Barnes-Hut, 8K particles: migratory tree "
+                    "bodies, heavy cache-to-cache transfer";
+    p.privateBytes = 512 << 10;
+    p.sharedROBytes = 256 << 10;
+    p.codeBytes = 256 << 10;
+    p.rwObjects = 4096;           // Bodies/cells: ~1MB, cache resident.
+    p.rwObjectBytes = 256;
+    p.zipf = 0.7;
+    p.seqRunLines = 3.0;
+    p.refsPerLine = 4.0;
+    p.avgGap = 5.0;
+    PhaseSpec ph;
+    ph.pIfetch = 0.10;
+    ph.pSharedRW = 0.62;
+    ph.pSharedRO = 0.08;
+    ph.pMigrate = 0.5;
+    ph.pStoreOwned = 0.6;
+    ph.pStorePrivate = 0.30;
+    ph.pDependent = 0.30;
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeSpecint()
+{
+    WorkloadProfile p;
+    p.name = "specint2000rate";
+    p.description = "SPECint2000Rate: four independent integer benchmarks, "
+                    "essentially no user-level sharing";
+    p.privateBytes = 8ULL << 20;
+    p.sharedROBytes = 256 << 10;  // A sliver of shared OS structures.
+    p.codeBytes = 1ULL << 20;
+    p.rwObjects = 32;             // OS run queues and locks.
+    p.rwObjectBytes = 256;
+    p.zipf = 1.1;
+    p.seqRunLines = 8.0;
+    p.refsPerLine = 5.0;
+    p.avgGap = 4.0;
+    PhaseSpec ph;
+    ph.pIfetch = 0.15;
+    ph.pSharedRO = 0.006;
+    ph.pSharedRW = 0.014;
+    ph.pMigrate = 0.5;
+    ph.pStoreOwned = 0.6;
+    ph.pStorePrivate = 0.35;
+    ph.pDcbzBurst = 0.0004;       // Process pages faulted in.
+    ph.pDependent = 0.15;
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeSpecweb()
+{
+    WorkloadProfile p;
+    p.name = "specweb99";
+    p.commercial = true;
+    p.description = "SPECweb99 (Zeus): per-connection private buffers, "
+                    "shared file cache metadata, OS page zeroing";
+    p.privateBytes = 6ULL << 20;
+    p.sharedROBytes = 4ULL << 20;
+    p.codeBytes = 2ULL << 20;
+    p.rwObjects = 512;
+    p.rwObjectBytes = 512;
+    p.zipf = 1.05;
+    p.seqRunLines = 12.0;
+    p.refsPerLine = 4.0;
+    p.avgGap = 4.0;
+    PhaseSpec ph;
+    ph.pIfetch = 0.20;
+    ph.pSharedRO = 0.10;
+    ph.pSharedRW = 0.10;
+    ph.pMigrate = 0.45;
+    ph.pStoreOwned = 0.55;
+    ph.pStorePrivate = 0.35;
+    ph.pDcbzBurst = 0.0012;
+    ph.pDependent = 0.28;
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeSpecjbb()
+{
+    WorkloadProfile p;
+    p.name = "specjbb2000";
+    p.commercial = true;
+    p.description = "SPECjbb2000 (IBM jdk 1.1.8): per-warehouse Java heaps "
+                    "with allocation-driven page zeroing, shared JIT code";
+    p.privateBytes = 8ULL << 20;
+    p.sharedROBytes = 2ULL << 20;
+    p.codeBytes = 2ULL << 20;
+    p.rwObjects = 768;
+    p.rwObjectBytes = 512;
+    p.zipf = 1.0;
+    p.seqRunLines = 8.0;
+    p.refsPerLine = 4.0;
+    p.avgGap = 4.0;
+    PhaseSpec ph;
+    ph.pIfetch = 0.18;
+    ph.pSharedRO = 0.05;
+    ph.pSharedRW = 0.13;
+    ph.pMigrate = 0.45;
+    ph.pStoreOwned = 0.55;
+    ph.pStorePrivate = 0.40;
+    ph.pDcbzBurst = 0.0030;       // Allocation-heavy.
+    ph.pDependent = 0.32;
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeTpcw()
+{
+    WorkloadProfile p;
+    p.name = "tpc-w";
+    p.commercial = true;
+    p.description = "TPC-W DB tier, browsing mix: large buffer pool "
+                    "streamed mostly privately, modest hot-page sharing";
+    p.privateBytes = 7ULL << 20;  // Buffer-pool partition: streaming.
+    p.sharedROBytes = 2ULL << 20;
+    p.codeBytes = 2ULL << 20;
+    p.rwObjects = 1024;           // Hot page headers.
+    p.rwObjectBytes = 512;
+    p.zipf = 0.65;               // Browsing mix touches the whole pool.
+    p.seqRunLines = 16.0;
+    p.refsPerLine = 2.5;
+    p.avgGap = 2.5;
+    PhaseSpec ph;
+    ph.pIfetch = 0.15;
+    ph.pSharedRO = 0.05;
+    ph.pSharedRW = 0.06;
+    ph.pMigrate = 0.45;
+    ph.pStoreOwned = 0.5;
+    ph.pStorePrivate = 0.30;
+    ph.pDcbzBurst = 0.0008;
+    ph.pDependent = 0.38;
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeTpcb()
+{
+    WorkloadProfile p;
+    p.name = "tpc-b";
+    p.commercial = true;
+    p.description = "TPC-B (DB2): OLTP with dirty sharing of hot branch/"
+                    "teller records and log pages";
+    p.privateBytes = 4ULL << 20;
+    p.sharedROBytes = 1ULL << 20;
+    p.codeBytes = 2ULL << 20;
+    p.rwObjects = 1024;           // Branch/teller records + log tail.
+    p.rwObjectBytes = 512;
+    p.zipf = 1.0;
+    p.seqRunLines = 6.0;
+    p.refsPerLine = 4.0;
+    p.avgGap = 4.0;
+    PhaseSpec ph;
+    ph.pIfetch = 0.20;
+    ph.pSharedRO = 0.05;
+    ph.pSharedRW = 0.28;
+    ph.pMigrate = 0.5;
+    ph.pStoreOwned = 0.65;
+    ph.pStorePrivate = 0.30;
+    ph.pDcbzBurst = 0.0006;
+    ph.pDependent = 0.32;
+    p.phases = {ph};
+    return p;
+}
+
+WorkloadProfile
+makeTpch()
+{
+    WorkloadProfile p;
+    p.name = "tpc-h";
+    p.commercial = true;
+    p.description = "TPC-H query 12 (DB2): a parallel scan phase over "
+                    "private partitions, then a merge phase dominated by "
+                    "migratory cache-to-cache transfers";
+    p.privateBytes = 12ULL << 20;
+    p.sharedROBytes = 512 << 10;
+    p.codeBytes = 1ULL << 20;
+    p.rwObjects = 512;            // Merge-exchange buffers, resident.
+    p.rwObjectBytes = 2048;
+    p.zipf = 0.8;
+    p.seqRunLines = 16.0;
+    p.refsPerLine = 3.0;
+    p.avgGap = 3.5;
+
+    PhaseSpec scan;
+    scan.fraction = 0.15;
+    scan.pIfetch = 0.12;
+    scan.pSharedRO = 0.02;
+    scan.pSharedRW = 0.02;
+    scan.pMigrate = 0.3;
+    scan.pStorePrivate = 0.20;
+    scan.pDependent = 0.18;
+
+    PhaseSpec merge;
+    merge.fraction = 0.85;
+    merge.pIfetch = 0.08;
+    merge.pSharedRO = 0.04;
+    merge.pSharedRW = 0.88;
+    merge.pMigrate = 0.6;
+    merge.pStoreOwned = 0.70;
+    merge.pStorePrivate = 0.30;
+    merge.pDependent = 0.32;
+
+    p.phases = {scan, merge};
+    return p;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+standardBenchmarks()
+{
+    static const std::vector<WorkloadProfile> all = {
+        makeOcean(),  makeRaytrace(), makeBarnes(),
+        makeSpecint(), makeSpecweb(), makeSpecjbb(),
+        makeTpcw(),   makeTpcb(),     makeTpch(),
+    };
+    return all;
+}
+
+const WorkloadProfile &
+benchmarkByName(std::string_view name)
+{
+    for (const auto &p : standardBenchmarks()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark '%.*s'", static_cast<int>(name.size()),
+          name.data());
+}
+
+} // namespace cgct

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The nine benchmark profiles of Table 4: SPLASH-2 Ocean / Raytrace /
+ * Barnes, SPECint2000Rate (multiprogrammed), SPECweb99, SPECjbb2000, and
+ * TPC-W / TPC-B / TPC-H. Parameters are calibrated so the oracle
+ * unnecessary-broadcast mix reproduces the shape of Figure 2 (see
+ * EXPERIMENTS.md for paper-vs-measured numbers).
+ */
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "workload/profile.hpp"
+
+namespace cgct {
+
+/** All nine Table 4 benchmarks, in the paper's order. */
+const std::vector<WorkloadProfile> &standardBenchmarks();
+
+/** Look up a benchmark by name; fatal() if unknown. */
+const WorkloadProfile &benchmarkByName(std::string_view name);
+
+} // namespace cgct

@@ -1,0 +1,35 @@
+#include "workload/profile.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+void
+WorkloadProfile::validate() const
+{
+    if (phases.empty())
+        fatal("workload '%s': needs at least one phase", name.c_str());
+    double total = 0.0;
+    for (const auto &ph : phases) {
+        total += ph.fraction;
+        for (double p : {ph.pIfetch, ph.pSharedRO, ph.pSharedRW,
+                         ph.pStorePrivate, ph.pStoreSharedRO,
+                         ph.pStoreOwned, ph.pMigrate, ph.pDcbzBurst,
+                         ph.pDcbf, ph.pDependent}) {
+            if (p < 0.0 || p > 1.0)
+                fatal("workload '%s': probability out of range",
+                      name.c_str());
+        }
+        if (ph.pSharedRO + ph.pSharedRW > 1.0)
+            fatal("workload '%s': shared fractions exceed 1", name.c_str());
+    }
+    if (std::abs(total - 1.0) > 1e-6)
+        fatal("workload '%s': phase fractions sum to %f, expected 1",
+              name.c_str(), total);
+    if (privateBytes == 0 || codeBytes == 0)
+        fatal("workload '%s': zero footprint", name.c_str());
+}
+
+} // namespace cgct

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Statistical workload profiles. The paper evaluates commercial, scientific
+ * and multiprogrammed AIX workloads from full-system checkpoints; we do not
+ * have those traces (or SimOS-PPC), so each benchmark is modeled by a
+ * profile capturing the properties CGCT is sensitive to: footprints versus
+ * cache size, region-level spatial locality, the sharing mix (read-only,
+ * migratory read-write), OS page-zeroing (DCBZ) activity, instruction-fetch
+ * pressure, and phase structure. DESIGN.md Section 3 documents the
+ * substitution; the Figure 2 oracle bench validates the calibration.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgct {
+
+/** Behavior during one phase of execution. */
+struct PhaseSpec {
+    /** Fraction of each processor's operations spent in this phase. */
+    double fraction = 1.0;
+    /** Probability an op is an instruction fetch. */
+    double pIfetch = 0.15;
+    /** Among data ops: probability of touching read-mostly shared data. */
+    double pSharedRO = 0.0;
+    /** Among data ops: probability of touching read-write shared objects. */
+    double pSharedRW = 0.0;
+    /** Store fraction for private data accesses. */
+    double pStorePrivate = 0.30;
+    /** Store fraction for read-mostly shared accesses (metadata updates). */
+    double pStoreSharedRO = 0.002;
+    /** Store fraction when accessing a read-write object this CPU owns. */
+    double pStoreOwned = 0.5;
+    /** Probability an access to a read-write object migrates ownership. */
+    double pMigrate = 0.1;
+    /** Probability a data op starts a DCBZ page-zeroing burst. */
+    double pDcbzBurst = 0.0;
+    /** Probability a data op is a DCB flush (rare). */
+    double pDcbf = 0.0;
+    /** Fraction of loads whose consumer serializes the pipeline. */
+    double pDependent = 0.15;
+};
+
+/** A complete synthetic benchmark description. */
+struct WorkloadProfile {
+    std::string name;
+    std::string description;
+    /** Commercial workloads get the Figure 8 "commercial average". */
+    bool commercial = false;
+
+    /** Per-processor private footprint. */
+    std::uint64_t privateBytes = 8ULL << 20;
+    /** Shared read-mostly footprint (scene data, buffer pool headers). */
+    std::uint64_t sharedROBytes = 2ULL << 20;
+    /** Shared instruction footprint. */
+    std::uint64_t codeBytes = 1ULL << 20;
+    /** Read-write shared objects (migratory records / pages). */
+    std::uint32_t rwObjects = 256;
+    std::uint32_t rwObjectBytes = 2048;
+
+    /** Zipf exponent for hot-set skew within a segment. */
+    double zipf = 0.6;
+    /** Zipf exponent for the instruction footprint (usually hotter). */
+    double codeZipf = 0.95;
+    /** Mean sequential run length, in lines, within a segment. */
+    double seqRunLines = 8.0;
+    /** Mean references to a line before moving on (temporal locality). */
+    double refsPerLine = 4.0;
+    /** Mean references per instruction line (loops are hot). */
+    double codeRefsPerLine = 10.0;
+    /** Mean non-memory instructions between memory ops. */
+    double avgGap = 3.0;
+    /** Page size for DCBZ bursts. */
+    std::uint32_t pageBytes = 4096;
+
+    std::vector<PhaseSpec> phases{PhaseSpec{}};
+
+    /** Sanity-check invariants (fractions sum to 1, probabilities). */
+    void validate() const;
+};
+
+} // namespace cgct

@@ -1,0 +1,174 @@
+#include "workload/trace.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+namespace {
+
+struct TraceHeader {
+    char magic[4];
+    std::uint32_t version;
+    std::uint32_t numCpus;
+    std::uint32_t pad = 0;
+    std::uint64_t opsPerCpu;
+};
+
+struct TraceRecord {
+    std::uint8_t cpu;
+    std::uint8_t kind;
+    std::uint8_t flags;
+    std::uint32_t gap;
+    std::uint64_t addr;
+};
+
+void
+writeRecord(std::FILE *f, const TraceRecord &r)
+{
+    std::fwrite(&r.cpu, 1, 1, f);
+    std::fwrite(&r.kind, 1, 1, f);
+    std::fwrite(&r.flags, 1, 1, f);
+    std::fwrite(&r.gap, 4, 1, f);
+    std::fwrite(&r.addr, 8, 1, f);
+}
+
+bool
+readRecord(std::FILE *f, TraceRecord &r)
+{
+    if (std::fread(&r.cpu, 1, 1, f) != 1)
+        return false;
+    if (std::fread(&r.kind, 1, 1, f) != 1 ||
+        std::fread(&r.flags, 1, 1, f) != 1 ||
+        std::fread(&r.gap, 4, 1, f) != 1 ||
+        std::fread(&r.addr, 8, 1, f) != 1) {
+        fatal("trace: truncated record");
+    }
+    return true;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, unsigned num_cpus,
+                         std::uint64_t ops_per_cpu)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    TraceHeader h{};
+    std::memcpy(h.magic, kTraceMagic, 4);
+    h.version = kTraceVersion;
+    h.numCpus = num_cpus;
+    h.opsPerCpu = ops_per_cpu;
+    std::fwrite(&h.magic, 4, 1, file_);
+    std::fwrite(&h.version, 4, 1, file_);
+    std::fwrite(&h.numCpus, 4, 1, file_);
+    std::fwrite(&h.pad, 4, 1, file_);
+    std::fwrite(&h.opsPerCpu, 8, 1, file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(CpuId cpu, const CpuOp &op)
+{
+    if (!file_)
+        panic("trace: append after close");
+    TraceRecord r;
+    r.cpu = static_cast<std::uint8_t>(cpu);
+    r.kind = static_cast<std::uint8_t>(op.kind);
+    r.flags = op.dependent ? 1 : 0;
+    r.gap = op.gap;
+    r.addr = op.addr;
+    writeRecord(file_, r);
+    ++records_;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("trace: cannot open '%s'", path.c_str());
+    char magic[4];
+    std::uint32_t version = 0, pad = 0;
+    if (std::fread(magic, 4, 1, f) != 1 ||
+        std::memcmp(magic, kTraceMagic, 4) != 0)
+        fatal("trace: '%s' is not a CGCT trace", path.c_str());
+    if (std::fread(&version, 4, 1, f) != 1 || version != kTraceVersion)
+        fatal("trace: unsupported version in '%s'", path.c_str());
+    if (std::fread(&numCpus_, 4, 1, f) != 1 ||
+        std::fread(&pad, 4, 1, f) != 1 ||
+        std::fread(&opsPerCpu_, 8, 1, f) != 1)
+        fatal("trace: truncated header in '%s'", path.c_str());
+    if (numCpus_ == 0 || numCpus_ > 1024)
+        fatal("trace: implausible CPU count %u", numCpus_);
+
+    perCpu_.resize(numCpus_);
+    cursor_.assign(numCpus_, 0);
+    TraceRecord r;
+    while (readRecord(f, r)) {
+        if (r.cpu >= numCpus_)
+            fatal("trace: record for CPU %u out of range", r.cpu);
+        CpuOp op;
+        op.kind = static_cast<CpuOpKind>(r.kind);
+        op.gap = r.gap;
+        op.addr = r.addr;
+        op.dependent = (r.flags & 1) != 0;
+        perCpu_[r.cpu].push_back(op);
+        ++total_;
+    }
+    std::fclose(f);
+}
+
+bool
+TraceReader::next(CpuId cpu, CpuOp &op)
+{
+    auto &cur = cursor_[static_cast<unsigned>(cpu)];
+    const auto &q = perCpu_[static_cast<unsigned>(cpu)];
+    if (cur >= q.size())
+        return false;
+    op = q[cur++];
+    return true;
+}
+
+std::uint64_t
+captureTrace(OpSource &source, unsigned num_cpus,
+             std::uint64_t ops_per_cpu, const std::string &path)
+{
+    TraceWriter writer(path, num_cpus, ops_per_cpu);
+    // Round-robin drain preserves a plausible interleave and keeps any
+    // generator-global state (object owners) evolving as in a live run.
+    std::vector<bool> alive(num_cpus, true);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            if (!alive[cpu])
+                continue;
+            CpuOp op;
+            if (source.next(static_cast<CpuId>(cpu), op)) {
+                writer.append(static_cast<CpuId>(cpu), op);
+                any = true;
+            } else {
+                alive[cpu] = false;
+            }
+        }
+    }
+    writer.close();
+    return writer.recordsWritten();
+}
+
+} // namespace cgct

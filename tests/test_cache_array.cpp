@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the set-associative cache array: lookup, allocation, LRU
+ * victim selection, invalidation, and region iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache_array.hpp"
+
+namespace cgct {
+namespace {
+
+TEST(CacheArray, FindMissesWhenEmpty)
+{
+    CacheArray arr(16, 2, 64);
+    EXPECT_EQ(arr.find(0x1000), nullptr);
+}
+
+TEST(CacheArray, AllocateThenFind)
+{
+    CacheArray arr(16, 2, 64);
+    Eviction ev;
+    CacheLine *line = arr.allocate(0x1234, ev);
+    line->state = LineState::Shared;
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(line->lineAddr, 0x1200u);
+    // Any address within the line finds it.
+    EXPECT_EQ(arr.find(0x1200), line);
+    EXPECT_EQ(arr.find(0x123F), line);
+    EXPECT_EQ(arr.find(0x1240), nullptr);
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray arr(1, 2, 64); // One set, two ways.
+    Eviction ev;
+    CacheLine *a = arr.allocate(0x0000, ev);
+    a->state = LineState::Shared;
+    a->lastUse = 10;
+    CacheLine *b = arr.allocate(0x1000, ev);
+    b->state = LineState::Modified;
+    b->lastUse = 20;
+    // Set is full; the LRU (a) is evicted.
+    CacheLine *c = arr.allocate(0x2000, ev);
+    c->state = LineState::Exclusive;
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0x0000u);
+    EXPECT_EQ(ev.state, LineState::Shared);
+    EXPECT_EQ(arr.find(0x0000), nullptr);
+    EXPECT_NE(arr.find(0x1000), nullptr);
+    EXPECT_NE(arr.find(0x2000), nullptr);
+}
+
+TEST(CacheArray, PrefersInvalidFrames)
+{
+    CacheArray arr(1, 4, 64);
+    Eviction ev;
+    arr.allocate(0x0000, ev)->state = LineState::Shared;
+    arr.allocate(0x1000, ev)->state = LineState::Shared;
+    // Two frames remain invalid; no eviction happens.
+    arr.allocate(0x2000, ev)->state = LineState::Shared;
+    EXPECT_FALSE(ev.valid);
+}
+
+TEST(CacheArray, InvalidateReturnsPriorState)
+{
+    CacheArray arr(16, 2, 64);
+    Eviction ev;
+    arr.allocate(0x40, ev)->state = LineState::Owned;
+    EXPECT_EQ(arr.invalidate(0x40), LineState::Owned);
+    EXPECT_EQ(arr.find(0x40), nullptr);
+    EXPECT_EQ(arr.invalidate(0x40), LineState::Invalid);
+}
+
+TEST(CacheArray, RegionIteration)
+{
+    CacheArray arr(64, 4, 64);
+    Eviction ev;
+    // Three lines inside the 512-byte region at 0x1000, one outside.
+    for (Addr a : {0x1000ULL, 0x1040ULL, 0x11C0ULL, 0x1200ULL})
+        arr.allocate(a, ev)->state = LineState::Shared;
+    std::vector<Addr> found;
+    arr.forEachLineInRegion(0x1000, 512, [&found](CacheLine &line) {
+        found.push_back(line.lineAddr);
+    });
+    EXPECT_EQ(found, (std::vector<Addr>{0x1000, 0x1040, 0x11C0}));
+}
+
+TEST(CacheArray, CountValidAndReset)
+{
+    CacheArray arr(16, 2, 64);
+    Eviction ev;
+    arr.allocate(0x0000, ev)->state = LineState::Shared;
+    arr.allocate(0x4000, ev)->state = LineState::Modified;
+    EXPECT_EQ(arr.countValid(), 2u);
+    arr.reset();
+    EXPECT_EQ(arr.countValid(), 0u);
+}
+
+TEST(CacheArray, SetIndexingSeparatesSets)
+{
+    CacheArray arr(16, 1, 64); // Direct-mapped, 16 sets.
+    Eviction ev;
+    // These two addresses map to different sets: no conflict.
+    arr.allocate(0x0000, ev)->state = LineState::Shared;
+    arr.allocate(0x0040, ev)->state = LineState::Shared;
+    EXPECT_FALSE(ev.valid);
+    // Same set (16 sets * 64 B = 1 KB stride): conflict.
+    arr.allocate(0x0400, ev)->state = LineState::Shared;
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0x0000u);
+}
+
+TEST(CacheArrayDeath, DoubleAllocatePanics)
+{
+    CacheArray arr(16, 2, 64);
+    Eviction ev;
+    arr.allocate(0x80, ev)->state = LineState::Shared;
+    EXPECT_DEATH(arr.allocate(0x80, ev), "already present");
+}
+
+TEST(CacheArrayDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH(CacheArray(15, 2, 64), "power of two");
+    EXPECT_DEATH(CacheArray(16, 2, 48), "power of two");
+    EXPECT_DEATH(CacheArray(16, 0, 64), "associativity");
+}
+
+/** Property sweep: fill an array well past capacity; structure holds. */
+class CacheArrayFillSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheArrayFillSweep, NeverExceedsCapacityAndFindsResidents)
+{
+    const auto [sets, ways] = GetParam();
+    CacheArray arr(sets, ways, 64);
+    Eviction ev;
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(sets) * static_cast<std::uint64_t>(ways);
+    for (Addr a = 0; a < capacity * 4 * 64; a += 64) {
+        CacheLine *line = arr.allocate(a, ev);
+        line->state = LineState::Shared;
+        line->lastUse = a;
+        ASSERT_EQ(arr.find(a), line);
+    }
+    EXPECT_LE(arr.countValid(), capacity);
+    EXPECT_EQ(arr.countValid(), capacity); // Fully warmed.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheArrayFillSweep,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(4, 2),
+                      std::make_tuple(16, 4), std::make_tuple(64, 2),
+                      std::make_tuple(8, 8)));
+
+} // namespace
+} // namespace cgct

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the 95% confidence-interval helpers used by the Figure 8/9
+ * error bars.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/confidence.hpp"
+
+namespace cgct {
+namespace {
+
+TEST(Confidence, EmptySet)
+{
+    const RunSummary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.ci95Half, 0.0);
+}
+
+TEST(Confidence, SingleSample)
+{
+    const RunSummary s = summarize({42.0});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 42.0);
+    EXPECT_EQ(s.stddev, 0.0);
+    EXPECT_EQ(s.ci95Half, 0.0);
+}
+
+TEST(Confidence, KnownValues)
+{
+    // Samples 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample stddev ~2.138.
+    const RunSummary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, 2.13809, 1e-4);
+    // t(7, 0.975) = 2.365; CI half-width = 2.365 * 2.138 / sqrt(8).
+    EXPECT_NEAR(s.ci95Half, 2.365 * 2.13809 / std::sqrt(8.0), 1e-3);
+}
+
+TEST(Confidence, IdenticalSamplesHaveZeroWidth)
+{
+    const RunSummary s = summarize({3.5, 3.5, 3.5, 3.5});
+    EXPECT_DOUBLE_EQ(s.mean, 3.5);
+    EXPECT_EQ(s.stddev, 0.0);
+    EXPECT_EQ(s.ci95Half, 0.0);
+}
+
+TEST(Confidence, TCriticalTable)
+{
+    EXPECT_NEAR(tCritical95(1), 12.706, 1e-3);
+    EXPECT_NEAR(tCritical95(4), 2.776, 1e-3);
+    EXPECT_NEAR(tCritical95(30), 2.042, 1e-3);
+    // Large dof approaches the normal critical value.
+    EXPECT_NEAR(tCritical95(1000), 1.962, 5e-3);
+    EXPECT_EQ(tCritical95(0), 0.0);
+}
+
+TEST(Confidence, WidthShrinksWithSamples)
+{
+    std::vector<double> small{10, 12, 11, 13};
+    std::vector<double> large;
+    for (int i = 0; i < 16; ++i)
+        large.push_back(10.0 + (i % 4));
+    const RunSummary a = summarize(small);
+    const RunSummary b = summarize(large);
+    EXPECT_GT(a.ci95Half, b.ci95Half);
+}
+
+} // namespace
+} // namespace cgct

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the out-of-order core timing model, driven by scripted op
+ * sources against a real single-node memory system: completion of finite
+ * streams, front-end pacing, miss overlap under the ROB window, dependent
+ * load serialization, and ifetch stalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "cpu/core_model.hpp"
+#include "sim/node.hpp"
+
+namespace cgct {
+namespace {
+
+/** Replays a fixed op list for one CPU. */
+class ScriptSource : public OpSource
+{
+  public:
+    explicit ScriptSource(std::vector<CpuOp> ops) : ops_(std::move(ops)) {}
+
+    bool
+    next(CpuId, CpuOp &op) override
+    {
+        if (idx_ >= ops_.size())
+            return false;
+        op = ops_[idx_++];
+        return true;
+    }
+
+  private:
+    std::vector<CpuOp> ops_;
+    std::size_t idx_ = 0;
+};
+
+CpuOp
+op(CpuOpKind kind, Addr addr, std::uint32_t gap = 0, bool dep = false)
+{
+    CpuOp o;
+    o.kind = kind;
+    o.addr = addr;
+    o.gap = gap;
+    o.dependent = dep;
+    return o;
+}
+
+/** A complete single-node memory system plus a scripted core. */
+struct MiniSystem {
+    MiniSystem()
+    {
+        config.prefetch.enabled = false;
+        config.validate();
+        map = std::make_unique<AddressMap>(config.topology);
+        for (unsigned i = 0; i < config.topology.numMemCtrls(); ++i) {
+            mcs.push_back(std::make_unique<MemoryController>(
+                static_cast<MemCtrlId>(i), eq, config.interconnect));
+            mcPtrs.push_back(mcs.back().get());
+        }
+        net = std::make_unique<DataNetwork>(config.topology.numCpus,
+                                            config.interconnect);
+        bus = std::make_unique<Bus>(eq, config.interconnect, *map, *net,
+                                    mcPtrs);
+        node = std::make_unique<Node>(0, config, eq, *bus, *net, *map,
+                                      mcPtrs, nullptr);
+        bus->addClient(node.get());
+    }
+
+    /** Run a script to completion; returns the core's finish time. */
+    Tick
+    runScript(std::vector<CpuOp> ops)
+    {
+        source = std::make_unique<ScriptSource>(std::move(ops));
+        core = std::make_unique<CoreModel>(0, config.core, eq, *node,
+                                           *source);
+        core->start();
+        eq.run();
+        EXPECT_TRUE(core->finished());
+        return core->clock();
+    }
+
+    SystemConfig config = makeDefaultConfig();
+    EventQueue eq;
+    std::unique_ptr<AddressMap> map;
+    std::vector<std::unique_ptr<MemoryController>> mcs;
+    std::vector<MemoryController *> mcPtrs;
+    std::unique_ptr<DataNetwork> net;
+    std::unique_ptr<Bus> bus;
+    std::unique_ptr<Node> node;
+    std::unique_ptr<ScriptSource> source;
+    std::unique_ptr<CoreModel> core;
+};
+
+class CoreModelTest : public ::testing::Test
+{
+  protected:
+    Tick runScript(std::vector<CpuOp> ops)
+    {
+        return sys.runScript(std::move(ops));
+    }
+
+    MiniSystem sys;
+    SystemConfig &config = sys.config;
+    EventQueue &eq = sys.eq;
+};
+
+TEST_F(CoreModelTest, EmptyStreamFinishesImmediately)
+{
+    const Tick t = runScript({});
+    EXPECT_EQ(t, 0u);
+    EXPECT_EQ(sys.core->instructions(), 0u);
+}
+
+TEST_F(CoreModelTest, CountsInstructionsAndMemOps)
+{
+    runScript({op(CpuOpKind::Load, 0x1000, 3),
+               op(CpuOpKind::Store, 0x2000, 5),
+               op(CpuOpKind::Load, 0x1000, 0)});
+    EXPECT_EQ(sys.core->memOps(), 3u);
+    EXPECT_EQ(sys.core->instructions(), 3u + 3 + 5);
+}
+
+TEST_F(CoreModelTest, FrontEndPacesGapInstructions)
+{
+    // 100 hits with 8-instruction gaps: the 4-wide front end needs about
+    // two cycles per op.
+    std::vector<CpuOp> ops;
+    ops.push_back(op(CpuOpKind::Load, 0x1000, 0));
+    for (int i = 0; i < 99; ++i)
+        ops.push_back(op(CpuOpKind::Load, 0x1000, 8));
+    const Tick first_total = runScript(ops);
+    // The initial load misses; the rest hit in the L1.
+    EXPECT_GT(first_total, 99u * 2);
+    EXPECT_LT(first_total, 99 * 2 + 2000u);
+}
+
+TEST_F(CoreModelTest, IndependentMissesOverlap)
+{
+    // Three independent load misses should overlap: total time well below
+    // three serial miss latencies.
+    MiniSystem serial_sys;
+    const Tick serial = serial_sys.runScript(
+        {op(CpuOpKind::Load, 0x100000, 0)});
+    MiniSystem overlap_sys;
+    const Tick overlapped = overlap_sys.runScript(
+        {op(CpuOpKind::Load, 0x200000, 0),
+         op(CpuOpKind::Load, 0x300000, 0),
+         op(CpuOpKind::Load, 0x400000, 0)});
+    EXPECT_LT(overlapped, serial * 2);
+}
+
+TEST_F(CoreModelTest, DependentLoadSerializes)
+{
+    MiniSystem a;
+    const Tick independent = a.runScript(
+        {op(CpuOpKind::Load, 0x200000, 0),
+         op(CpuOpKind::Load, 0x300000, 0)});
+    MiniSystem b;
+    const Tick dependent = b.runScript(
+        {op(CpuOpKind::Load, 0x200000, 0, true),
+         op(CpuOpKind::Load, 0x300000, 0, true)});
+    EXPECT_GT(dependent, independent);
+    EXPECT_GT(b.core->stats().loadStallCycles, 0u);
+}
+
+TEST_F(CoreModelTest, IfetchMissStallsFetch)
+{
+    runScript({op(CpuOpKind::Ifetch, 0x500000, 0),
+               op(CpuOpKind::Load, 0x500000, 0)});
+    EXPECT_GT(sys.core->stats().ifetchStallCycles, 0u);
+    // The subsequent load hits the line the ifetch brought in... via L2.
+    EXPECT_TRUE(sys.core->finished());
+}
+
+TEST_F(CoreModelTest, StoresDoNotBlockRetirement)
+{
+    // A long string of store misses to distinct lines: the core should
+    // finish issuing long before the last store completes, then drain.
+    std::vector<CpuOp> ops;
+    for (int i = 0; i < 8; ++i)
+        ops.push_back(op(CpuOpKind::Store, 0x600000 + i * 0x1000, 1));
+    runScript(ops);
+    EXPECT_TRUE(sys.core->finished());
+    EXPECT_EQ(sys.core->memOps(), 8u);
+}
+
+TEST_F(CoreModelTest, RobWindowLimitsRunahead)
+{
+    // More outstanding loads than the ROB window can hide: the core must
+    // accumulate ROB stalls (all to distinct lines, all missing).
+    std::vector<CpuOp> ops;
+    for (int i = 0; i < 32; ++i)
+        ops.push_back(op(CpuOpKind::Load, 0x700000 + i * 0x1000, 2));
+    runScript(ops);
+    EXPECT_TRUE(sys.core->finished());
+    EXPECT_GT(sys.core->stats().robStallCycles, 0u);
+}
+
+TEST_F(CoreModelTest, FinishWaitsForOutstandingOps)
+{
+    runScript({op(CpuOpKind::Store, 0x800000, 0)});
+    // finished() only after the store completed; no events remain.
+    EXPECT_TRUE(sys.core->finished());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST_F(CoreModelTest, StatsRegistration)
+{
+    runScript({op(CpuOpKind::Load, 0x1000, 0)});
+    StatGroup g("core0");
+    sys.core->addStats(g);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core0.rob_stall_cycles"), std::string::npos);
+}
+
+} // namespace
+} // namespace cgct

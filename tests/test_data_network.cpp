@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the data network: critical-word latency per distance class and
+ * per-link bandwidth occupancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/data_network.hpp"
+
+namespace cgct {
+namespace {
+
+TEST(DataNetwork, CriticalWordLatencyByDistance)
+{
+    InterconnectParams p;
+    DataNetwork net(4, p);
+    EXPECT_EQ(net.deliver(0, 1000, Distance::OwnChip, 64),
+              1000 + p.xferOwnChip);
+    EXPECT_EQ(net.deliver(1, 1000, Distance::SameSwitch, 64),
+              1000 + p.xferSameSwitch);
+    EXPECT_EQ(net.deliver(2, 1000, Distance::SameBoard, 64),
+              1000 + p.xferSameBoard);
+    EXPECT_EQ(net.deliver(3, 1000, Distance::Remote, 64),
+              1000 + p.xferRemote);
+}
+
+TEST(DataNetwork, LinkOccupancySerializesTransfers)
+{
+    InterconnectParams p;
+    DataNetwork net(4, p);
+    // 64 bytes at 16 B/system-cycle = 4 system cycles = 40 CPU cycles.
+    const Tick first = net.deliver(0, 0, Distance::OwnChip, 64);
+    const Tick second = net.deliver(0, 0, Distance::OwnChip, 64);
+    EXPECT_EQ(second - first, 40u);
+    EXPECT_EQ(net.stats().linkWaitCycles, 40u);
+}
+
+TEST(DataNetwork, IndependentLinksDoNotInterfere)
+{
+    InterconnectParams p;
+    DataNetwork net(4, p);
+    net.deliver(0, 0, Distance::OwnChip, 64);
+    const Tick other = net.deliver(1, 0, Distance::OwnChip, 64);
+    EXPECT_EQ(other, p.xferOwnChip);
+    EXPECT_EQ(net.stats().linkWaitCycles, 0u);
+}
+
+TEST(DataNetwork, StatsAccumulate)
+{
+    InterconnectParams p;
+    DataNetwork net(2, p);
+    net.deliver(0, 0, Distance::OwnChip, 64);
+    net.deliver(1, 0, Distance::Remote, 128);
+    EXPECT_EQ(net.stats().transfers, 2u);
+    EXPECT_EQ(net.stats().bytes, 192u);
+    net.resetStats();
+    EXPECT_EQ(net.stats().transfers, 0u);
+}
+
+TEST(DataNetwork, SpacedTransfersDoNotQueue)
+{
+    InterconnectParams p;
+    DataNetwork net(1, p);
+    net.deliver(0, 0, Distance::OwnChip, 64);
+    const Tick t = net.deliver(0, 100, Distance::OwnChip, 64);
+    EXPECT_EQ(t, 100 + p.xferOwnChip);
+    EXPECT_EQ(net.stats().linkWaitCycles, 0u);
+}
+
+} // namespace
+} // namespace cgct

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: time ordering, same-tick priority
+ * ordering, insertion-order determinism, and the run helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/event_queue.hpp"
+
+namespace cgct {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(4); }, EventPriority::Cpu);
+    eq.schedule(5, [&] { order.push_back(1); }, EventPriority::Snoop);
+    eq.schedule(5, [&] { order.push_back(3); }, EventPriority::Data);
+    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::Memory);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, SameTickSamePriorityIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 6u);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunWithLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [&] { ++fired; });
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsBeforeTick)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {5u, 10u, 15u, 20u})
+        eq.schedule(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, (std::vector<Tick>{5, 10}));
+    eq.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, ClearDropsEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.clear();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 100u);
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduled in the past");
+}
+
+TEST(EventQueue, ZeroDelayScheduleInRunsAtSameTick)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(10, [&] { eq.scheduleIn(0, [&] { ran = true; }); });
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+} // namespace
+} // namespace cgct

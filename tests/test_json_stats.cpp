@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the JSON results writer: field presence, numeric fidelity,
+ * and structural validity (balanced braces, valid arrays).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/json_stats.hpp"
+
+namespace cgct {
+namespace {
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.workload = "tpc-w";
+    r.regionBytes = 512;
+    r.cycles = 123456;
+    r.instructions = 400000;
+    r.requestsTotal = 1000;
+    r.broadcasts = 300;
+    r.directs = 650;
+    r.locals = 50;
+    r.writebacks = 120;
+    r.broadcastsByCat[0] = 250;
+    r.directsByCat[1] = 600;
+    r.oracleTotal = 300;
+    r.oracleUnnecessary = 200;
+    r.avgBroadcastsPer100k = 1234.5;
+    r.peakBroadcastsPer100k = 2000;
+    r.l2MissRatio = 0.125;
+    r.cacheToCache = 44;
+    return r;
+}
+
+TEST(JsonStats, ContainsKeyFields)
+{
+    const std::string j = toJson(sampleResult());
+    EXPECT_NE(j.find("\"workload\": \"tpc-w\""), std::string::npos);
+    EXPECT_NE(j.find("\"region_bytes\": 512"), std::string::npos);
+    EXPECT_NE(j.find("\"cycles\": 123456"), std::string::npos);
+    EXPECT_NE(j.find("\"broadcasts\": 300"), std::string::npos);
+    EXPECT_NE(j.find("\"directs\": 650"), std::string::npos);
+    EXPECT_NE(j.find("\"avoided_fraction\": 0.7"), std::string::npos);
+    EXPECT_NE(j.find("\"broadcasts_by_category\": [250, 0, 0, 0]"),
+              std::string::npos);
+    EXPECT_NE(j.find("\"directs_by_category\": [0, 600, 0, 0]"),
+              std::string::npos);
+}
+
+TEST(JsonStats, BalancedStructure)
+{
+    const std::string j = toJson(sampleResult());
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+    // No trailing comma before the closing brace.
+    EXPECT_EQ(j.find(",\n}"), std::string::npos);
+}
+
+TEST(JsonStats, ArrayOfResults)
+{
+    std::vector<RunResult> batch{sampleResult(), sampleResult()};
+    batch[1].workload = "barnes";
+    const std::string j = toJson(batch);
+    EXPECT_EQ(j.front(), '[');
+    EXPECT_NE(j.find("\"tpc-w\""), std::string::npos);
+    EXPECT_NE(j.find("\"barnes\""), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 2);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '}'), 2);
+}
+
+TEST(JsonStats, EmptyBatch)
+{
+    const std::string j = toJson(std::vector<RunResult>{});
+    EXPECT_NE(j.find("["), std::string::npos);
+    EXPECT_NE(j.find("]"), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 0);
+}
+
+} // namespace
+} // namespace cgct

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the MSHR file: capacity, merging metadata, and demand
+ * promotion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hpp"
+
+namespace cgct {
+namespace {
+
+TEST(Mshr, AllocateAndRelease)
+{
+    MshrFile mshr(4);
+    EXPECT_FALSE(mshr.full());
+    mshr.allocate(0x100, false);
+    EXPECT_TRUE(mshr.contains(0x100));
+    EXPECT_EQ(mshr.inFlight(), 1u);
+    EXPECT_TRUE(mshr.release(0x100));
+    EXPECT_FALSE(mshr.contains(0x100));
+    EXPECT_FALSE(mshr.release(0x100)); // Double release reports false.
+}
+
+TEST(Mshr, FullAtCapacity)
+{
+    MshrFile mshr(2);
+    mshr.allocate(0x000, false);
+    mshr.allocate(0x040, false);
+    EXPECT_TRUE(mshr.full());
+    mshr.release(0x000);
+    EXPECT_FALSE(mshr.full());
+}
+
+TEST(Mshr, TracksPrefetchFlag)
+{
+    MshrFile mshr(4);
+    mshr.allocate(0x100, true);
+    mshr.allocate(0x200, false);
+    EXPECT_TRUE(mshr.isPrefetch(0x100));
+    EXPECT_FALSE(mshr.isPrefetch(0x200));
+    EXPECT_FALSE(mshr.isPrefetch(0x300)); // Unknown address.
+}
+
+TEST(Mshr, PromoteToDemand)
+{
+    MshrFile mshr(4);
+    mshr.allocate(0x100, true);
+    mshr.promoteToDemand(0x100);
+    EXPECT_FALSE(mshr.isPrefetch(0x100));
+    // Promoting an unknown line is a no-op.
+    mshr.promoteToDemand(0xDEAD);
+}
+
+TEST(Mshr, Clear)
+{
+    MshrFile mshr(4);
+    mshr.allocate(0x100, false);
+    mshr.clear();
+    EXPECT_EQ(mshr.inFlight(), 0u);
+    EXPECT_FALSE(mshr.contains(0x100));
+}
+
+TEST(MshrDeath, OverflowPanics)
+{
+    MshrFile mshr(1);
+    mshr.allocate(0x000, false);
+    EXPECT_DEATH(mshr.allocate(0x040, false), "full");
+}
+
+TEST(MshrDeath, DuplicatePanics)
+{
+    MshrFile mshr(4);
+    mshr.allocate(0x000, false);
+    EXPECT_DEATH(mshr.allocate(0x000, false), "duplicate");
+}
+
+} // namespace
+} // namespace cgct

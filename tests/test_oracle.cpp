@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the Figure 2 oracle: necessity classification per request
+ * type against real node cache state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "sim/oracle.hpp"
+
+namespace cgct {
+namespace {
+
+class OracleTest : public ::testing::Test
+{
+  protected:
+    OracleTest() : map(config.topology)
+    {
+        config.prefetch.enabled = false;
+        for (unsigned i = 0; i < config.topology.numMemCtrls(); ++i) {
+            mcs.push_back(std::make_unique<MemoryController>(
+                static_cast<MemCtrlId>(i), eq, config.interconnect));
+            mcPtrs.push_back(mcs.back().get());
+        }
+        net = std::make_unique<DataNetwork>(config.topology.numCpus,
+                                            config.interconnect);
+        bus = std::make_unique<Bus>(eq, config.interconnect, map, *net,
+                                    mcPtrs);
+        std::vector<Node *> node_ptrs;
+        for (unsigned i = 0; i < config.topology.numCpus; ++i) {
+            nodes.push_back(std::make_unique<Node>(
+                static_cast<CpuId>(i), config, eq, *bus, *net, map, mcPtrs,
+                nullptr));
+            bus->addClient(nodes.back().get());
+            node_ptrs.push_back(nodes.back().get());
+        }
+        oracle = std::make_unique<Oracle>(node_ptrs);
+    }
+
+    SystemRequest
+    req(CpuId cpu, RequestType type, Addr addr)
+    {
+        SystemRequest r;
+        r.cpu = cpu;
+        r.type = type;
+        r.lineAddr = addr;
+        return r;
+    }
+
+    /** Install a line in a node's L2 directly. */
+    void
+    plant(unsigned node, Addr addr, LineState state)
+    {
+        Eviction ev;
+        nodes[node]->l2().fill(addr, state, 0, 0, ev);
+    }
+
+    SystemConfig config = makeDefaultConfig();
+    EventQueue eq;
+    AddressMap map;
+    std::vector<std::unique_ptr<MemoryController>> mcs;
+    std::vector<MemoryController *> mcPtrs;
+    std::unique_ptr<DataNetwork> net;
+    std::unique_ptr<Bus> bus;
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::unique_ptr<Oracle> oracle;
+};
+
+TEST_F(OracleTest, ReadWithNoRemoteCopyIsUnnecessary)
+{
+    oracle->observe(req(0, RequestType::Read, 0x1000));
+    EXPECT_EQ(oracle->total(), 1u);
+    EXPECT_EQ(oracle->unnecessary(), 1u);
+}
+
+TEST_F(OracleTest, ReadWithRemoteCopyIsNecessary)
+{
+    plant(1, 0x1000, LineState::Shared);
+    oracle->observe(req(0, RequestType::Read, 0x1000));
+    EXPECT_EQ(oracle->unnecessary(), 0u);
+}
+
+TEST_F(OracleTest, OwnCopyDoesNotMakeItNecessary)
+{
+    plant(0, 0x1000, LineState::Modified);
+    oracle->observe(req(0, RequestType::Upgrade, 0x1000));
+    EXPECT_EQ(oracle->unnecessary(), 1u);
+}
+
+TEST_F(OracleTest, IfetchToleratesCleanSharers)
+{
+    plant(1, 0x1000, LineState::Shared);
+    plant(2, 0x1000, LineState::Exclusive);
+    oracle->observe(req(0, RequestType::Ifetch, 0x1000));
+    EXPECT_EQ(oracle->unnecessary(), 1u);
+}
+
+TEST_F(OracleTest, IfetchNeedsBroadcastForDirtyCopy)
+{
+    plant(1, 0x1000, LineState::Owned);
+    oracle->observe(req(0, RequestType::Ifetch, 0x1000));
+    EXPECT_EQ(oracle->unnecessary(), 0u);
+}
+
+TEST_F(OracleTest, WritebacksAlwaysUnnecessary)
+{
+    plant(1, 0x1000, LineState::Modified);
+    oracle->observe(req(0, RequestType::Writeback, 0x1000));
+    EXPECT_EQ(oracle->unnecessary(), 1u);
+}
+
+TEST_F(OracleTest, DcbOpsNeedBroadcastOnlyWithRemoteCopies)
+{
+    oracle->observe(req(0, RequestType::Dcbz, 0x1000));
+    EXPECT_EQ(oracle->unnecessary(), 1u);
+    plant(2, 0x1000, LineState::Shared);
+    oracle->observe(req(0, RequestType::Dcbz, 0x1000));
+    EXPECT_EQ(oracle->unnecessary(), 1u); // Second one was necessary.
+    EXPECT_EQ(oracle->total(), 2u);
+}
+
+TEST_F(OracleTest, CategoriesTallied)
+{
+    oracle->observe(req(0, RequestType::Read, 0x1000));
+    oracle->observe(req(0, RequestType::Ifetch, 0x2000));
+    oracle->observe(req(0, RequestType::Writeback, 0x3000));
+    oracle->observe(req(0, RequestType::Dcbz, 0x4000));
+    EXPECT_EQ(oracle->category(RequestCategory::DataReadWrite).total, 1u);
+    EXPECT_EQ(oracle->category(RequestCategory::Ifetch).total, 1u);
+    EXPECT_EQ(oracle->category(RequestCategory::Writeback).total, 1u);
+    EXPECT_EQ(oracle->category(RequestCategory::DcbOp).total, 1u);
+    EXPECT_DOUBLE_EQ(oracle->unnecessaryFraction(), 1.0);
+}
+
+TEST_F(OracleTest, PrefetchClassifiedLikeSharedRead)
+{
+    plant(1, 0x1000, LineState::Shared);
+    oracle->observe(req(0, RequestType::Prefetch, 0x1000));
+    // Shared prefetches tolerate clean sharers.
+    EXPECT_EQ(oracle->unnecessary(), 1u);
+    oracle->observe(req(0, RequestType::PrefetchExclusive, 0x1000));
+    // Exclusive prefetches need the remote copy gone.
+    EXPECT_EQ(oracle->unnecessary(), 1u);
+    EXPECT_EQ(oracle->total(), 2u);
+}
+
+TEST_F(OracleTest, Reset)
+{
+    oracle->observe(req(0, RequestType::Read, 0x1000));
+    oracle->reset();
+    EXPECT_EQ(oracle->total(), 0u);
+    EXPECT_EQ(oracle->unnecessary(), 0u);
+    EXPECT_EQ(oracle->category(RequestCategory::DataReadWrite).total, 0u);
+}
+
+} // namespace
+} // namespace cgct

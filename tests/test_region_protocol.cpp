@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Tests for the region protocol of Section 3.1: Table 1's routing rules,
+ * the Figure 3/4 local-request and upgrade transitions, the Figure 5
+ * external downgrades, response-bit generation, and the three-state
+ * scaled-back protocol of Section 3.4. Includes exhaustive TEST_P sweeps
+ * over the full state space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/region_protocol.hpp"
+
+namespace cgct {
+namespace {
+
+constexpr RegionState kAllStates[] = {
+    RegionState::Invalid,      RegionState::CleanInvalid,
+    RegionState::CleanClean,   RegionState::CleanDirty,
+    RegionState::DirtyInvalid, RegionState::DirtyClean,
+    RegionState::DirtyDirty,
+};
+
+constexpr RequestType kAllRequests[] = {
+    RequestType::Read,      RequestType::ReadExclusive,
+    RequestType::Upgrade,   RequestType::Ifetch,
+    RequestType::Writeback, RequestType::Prefetch,
+    RequestType::PrefetchExclusive, RequestType::Dcbz,
+    RequestType::Dcbf,      RequestType::Dcbi,
+};
+
+RegionSnoopBits
+bits(bool clean, bool dirty)
+{
+    RegionSnoopBits b;
+    b.clean = clean;
+    b.dirty = dirty;
+    return b;
+}
+
+TEST(RegionStates, Predicates)
+{
+    EXPECT_TRUE(isRegionExclusive(RegionState::CleanInvalid));
+    EXPECT_TRUE(isRegionExclusive(RegionState::DirtyInvalid));
+    EXPECT_FALSE(isRegionExclusive(RegionState::CleanClean));
+    EXPECT_FALSE(isRegionExclusive(RegionState::Invalid));
+    EXPECT_TRUE(isExternallyClean(RegionState::CleanClean));
+    EXPECT_TRUE(isExternallyClean(RegionState::DirtyClean));
+    EXPECT_FALSE(isExternallyClean(RegionState::CleanDirty));
+    EXPECT_TRUE(isExternallyDirty(RegionState::CleanDirty));
+    EXPECT_TRUE(isExternallyDirty(RegionState::DirtyDirty));
+    EXPECT_FALSE(isExternallyDirty(RegionState::DirtyClean));
+    EXPECT_TRUE(isLocallyDirty(RegionState::DirtyInvalid));
+    EXPECT_TRUE(isLocallyDirty(RegionState::DirtyClean));
+    EXPECT_TRUE(isLocallyDirty(RegionState::DirtyDirty));
+    EXPECT_FALSE(isLocallyDirty(RegionState::CleanDirty));
+    EXPECT_FALSE(isLocallyDirty(RegionState::Invalid));
+}
+
+// ---------------------------------------------------------------------
+// Table 1: "Broadcast Needed?" routing.
+// ---------------------------------------------------------------------
+
+TEST(RegionRouting, InvalidAlwaysBroadcasts)
+{
+    for (RequestType t : kAllRequests)
+        EXPECT_EQ(routeFor(t, RegionState::Invalid), RouteKind::Broadcast)
+            << requestTypeName(t);
+}
+
+TEST(RegionRouting, ExclusiveStatesNeverBroadcast)
+{
+    // Table 1: CI and DI — "Broadcast Needed? No".
+    for (RegionState s : {RegionState::CleanInvalid,
+                          RegionState::DirtyInvalid}) {
+        for (RequestType t : kAllRequests) {
+            EXPECT_NE(routeFor(t, s), RouteKind::Broadcast)
+                << regionStateName(s) << " " << requestTypeName(t);
+        }
+    }
+}
+
+TEST(RegionRouting, ExternallyCleanAllowsSharedReadsOnly)
+{
+    // Table 1: CC and DC — broadcast "For Modifiable Copy" only.
+    for (RegionState s : {RegionState::CleanClean,
+                          RegionState::DirtyClean}) {
+        EXPECT_EQ(routeFor(RequestType::Ifetch, s), RouteKind::Direct);
+        EXPECT_EQ(routeFor(RequestType::Prefetch, s), RouteKind::Direct);
+        // Loads may take exclusive copies, so they must broadcast.
+        EXPECT_EQ(routeFor(RequestType::Read, s), RouteKind::Broadcast);
+        EXPECT_EQ(routeFor(RequestType::ReadExclusive, s),
+                  RouteKind::Broadcast);
+        EXPECT_EQ(routeFor(RequestType::Upgrade, s),
+                  RouteKind::Broadcast);
+        EXPECT_EQ(routeFor(RequestType::Dcbz, s), RouteKind::Broadcast);
+    }
+}
+
+TEST(RegionRouting, ExternallyDirtyBroadcastsEverythingButWritebacks)
+{
+    for (RegionState s : {RegionState::CleanDirty,
+                          RegionState::DirtyDirty}) {
+        for (RequestType t : kAllRequests) {
+            if (t == RequestType::Writeback)
+                continue;
+            EXPECT_EQ(routeFor(t, s), RouteKind::Broadcast)
+                << regionStateName(s) << " " << requestTypeName(t);
+        }
+    }
+}
+
+TEST(RegionRouting, WritebacksGoDirectWheneverRegionKnown)
+{
+    // Section 5.1: the region entry carries the memory-controller index.
+    for (RegionState s : kAllStates) {
+        const RouteKind expected = s == RegionState::Invalid
+                                       ? RouteKind::Broadcast
+                                       : RouteKind::Direct;
+        EXPECT_EQ(routeFor(RequestType::Writeback, s), expected)
+            << regionStateName(s);
+    }
+}
+
+TEST(RegionRouting, UpgradesAndDcbCompleteLocallyInExclusive)
+{
+    for (RegionState s : {RegionState::CleanInvalid,
+                          RegionState::DirtyInvalid}) {
+        EXPECT_EQ(routeFor(RequestType::Upgrade, s),
+                  RouteKind::LocalComplete);
+        EXPECT_EQ(routeFor(RequestType::Dcbz, s),
+                  RouteKind::LocalComplete);
+        EXPECT_EQ(routeFor(RequestType::Dcbf, s),
+                  RouteKind::LocalComplete);
+        EXPECT_EQ(routeFor(RequestType::Dcbi, s),
+                  RouteKind::LocalComplete);
+        // Data reads go direct (they still need the data).
+        EXPECT_EQ(routeFor(RequestType::Read, s), RouteKind::Direct);
+        EXPECT_EQ(routeFor(RequestType::ReadExclusive, s),
+                  RouteKind::Direct);
+        EXPECT_EQ(routeFor(RequestType::Ifetch, s), RouteKind::Direct);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: transitions from Invalid on the snoop response.
+// ---------------------------------------------------------------------
+
+TEST(RegionBroadcast, SharedRequestFromInvalid)
+{
+    // Ifetch / shared read from I: CI, CC, or CD by response.
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid, RequestType::Ifetch,
+                             false, bits(false, false)),
+              RegionState::CleanInvalid);
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid, RequestType::Ifetch,
+                             false, bits(true, false)),
+              RegionState::CleanClean);
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid, RequestType::Ifetch,
+                             false, bits(false, true)),
+              RegionState::CleanDirty);
+}
+
+TEST(RegionBroadcast, ExclusiveRequestFromInvalid)
+{
+    // RFO (or a read granted exclusive) from I: DI, DC, or DD.
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid,
+                             RequestType::ReadExclusive, true,
+                             bits(false, false)),
+              RegionState::DirtyInvalid);
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid,
+                             RequestType::ReadExclusive, true,
+                             bits(true, false)),
+              RegionState::DirtyClean);
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid,
+                             RequestType::ReadExclusive, true,
+                             bits(false, true)),
+              RegionState::DirtyDirty);
+}
+
+TEST(RegionBroadcast, ReadGrantedExclusiveActsDirty)
+{
+    // "Reads that bring data into the cache in an exclusive state
+    //  transition the region to DI, DC, or DD."
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid, RequestType::Read,
+                             /*granted_exclusive=*/true,
+                             bits(false, false)),
+              RegionState::DirtyInvalid);
+    EXPECT_EQ(afterBroadcast(RegionState::Invalid, RequestType::Read,
+                             /*granted_exclusive=*/false,
+                             bits(true, false)),
+              RegionState::CleanClean);
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: upgrades driven by the snoop response.
+// ---------------------------------------------------------------------
+
+TEST(RegionBroadcast, UpgradeFromCCUsesResponse)
+{
+    // RFO broadcast from CC: the response may show the region is no
+    // longer shared, upgrading all the way to DI.
+    EXPECT_EQ(afterBroadcast(RegionState::CleanClean,
+                             RequestType::ReadExclusive, true,
+                             bits(false, false)),
+              RegionState::DirtyInvalid);
+    EXPECT_EQ(afterBroadcast(RegionState::CleanClean,
+                             RequestType::ReadExclusive, true,
+                             bits(true, false)),
+              RegionState::DirtyClean);
+    EXPECT_EQ(afterBroadcast(RegionState::CleanClean,
+                             RequestType::ReadExclusive, true,
+                             bits(false, true)),
+              RegionState::DirtyDirty);
+}
+
+TEST(RegionBroadcast, BroadcastFromDirtyStatesKeepsLocalLetter)
+{
+    // Once the local letter is D it stays D (modified lines may remain).
+    EXPECT_EQ(afterBroadcast(RegionState::DirtyDirty, RequestType::Read,
+                             false, bits(false, false)),
+              RegionState::DirtyInvalid);
+    EXPECT_EQ(afterBroadcast(RegionState::DirtyDirty, RequestType::Ifetch,
+                             false, bits(true, false)),
+              RegionState::DirtyClean);
+}
+
+TEST(RegionBroadcast, CleanRequestFromCDCanUpgradeToCI)
+{
+    EXPECT_EQ(afterBroadcast(RegionState::CleanDirty, RequestType::Read,
+                             false, bits(false, false)),
+              RegionState::CleanInvalid);
+}
+
+TEST(RegionBroadcast, WritebackLeavesStateAlone)
+{
+    for (RegionState s : kAllStates) {
+        EXPECT_EQ(afterBroadcast(s, RequestType::Writeback, false,
+                                 bits(true, true)),
+                  s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 (dashed edge): the silent CI -> DI transition.
+// ---------------------------------------------------------------------
+
+TEST(RegionSilent, CiToDiOnModifiableCopy)
+{
+    EXPECT_EQ(afterSilentLocal(RegionState::CleanInvalid,
+                               RequestType::ReadExclusive, true),
+              RegionState::DirtyInvalid);
+    EXPECT_EQ(afterSilentLocal(RegionState::CleanInvalid,
+                               RequestType::Read,
+                               /*granted_exclusive=*/true),
+              RegionState::DirtyInvalid);
+    // A shared copy leaves CI alone.
+    EXPECT_EQ(afterSilentLocal(RegionState::CleanInvalid,
+                               RequestType::Ifetch, false),
+              RegionState::CleanInvalid);
+}
+
+TEST(RegionSilent, OtherStatesUnaffected)
+{
+    for (RegionState s : kAllStates) {
+        if (s == RegionState::CleanInvalid)
+            continue;
+        EXPECT_EQ(afterSilentLocal(s, RequestType::ReadExclusive, true),
+                  s)
+            << regionStateName(s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 (top): downgrades on external requests.
+// ---------------------------------------------------------------------
+
+TEST(RegionExternal, SharedExternalReadRaisesExternalToClean)
+{
+    EXPECT_EQ(afterExternalSnoop(RegionState::CleanInvalid, false),
+              RegionState::CleanClean);
+    EXPECT_EQ(afterExternalSnoop(RegionState::DirtyInvalid, false),
+              RegionState::DirtyClean);
+    EXPECT_EQ(afterExternalSnoop(RegionState::CleanClean, false),
+              RegionState::CleanClean);
+    // An already externally dirty region stays dirty.
+    EXPECT_EQ(afterExternalSnoop(RegionState::CleanDirty, false),
+              RegionState::CleanDirty);
+    EXPECT_EQ(afterExternalSnoop(RegionState::DirtyDirty, false),
+              RegionState::DirtyDirty);
+}
+
+TEST(RegionExternal, ExclusiveExternalRequestMakesExternalDirty)
+{
+    EXPECT_EQ(afterExternalSnoop(RegionState::CleanInvalid, true),
+              RegionState::CleanDirty);
+    EXPECT_EQ(afterExternalSnoop(RegionState::CleanClean, true),
+              RegionState::CleanDirty);
+    EXPECT_EQ(afterExternalSnoop(RegionState::DirtyInvalid, true),
+              RegionState::DirtyDirty);
+    EXPECT_EQ(afterExternalSnoop(RegionState::DirtyClean, true),
+              RegionState::DirtyDirty);
+}
+
+TEST(RegionExternal, InvalidStaysInvalid)
+{
+    EXPECT_EQ(afterExternalSnoop(RegionState::Invalid, false),
+              RegionState::Invalid);
+    EXPECT_EQ(afterExternalSnoop(RegionState::Invalid, true),
+              RegionState::Invalid);
+}
+
+// ---------------------------------------------------------------------
+// Section 3.4: the two snoop-response bits.
+// ---------------------------------------------------------------------
+
+TEST(RegionResponse, BitsReflectLocalLetter)
+{
+    EXPECT_TRUE(regionResponseBits(RegionState::Invalid).none());
+    for (RegionState s : {RegionState::CleanInvalid,
+                          RegionState::CleanClean,
+                          RegionState::CleanDirty}) {
+        EXPECT_TRUE(regionResponseBits(s).clean) << regionStateName(s);
+        EXPECT_FALSE(regionResponseBits(s).dirty) << regionStateName(s);
+    }
+    for (RegionState s : {RegionState::DirtyInvalid,
+                          RegionState::DirtyClean,
+                          RegionState::DirtyDirty}) {
+        EXPECT_TRUE(regionResponseBits(s).dirty) << regionStateName(s);
+        EXPECT_FALSE(regionResponseBits(s).clean) << regionStateName(s);
+    }
+}
+
+TEST(RegionResponse, MergeIsLogicalOr)
+{
+    RegionSnoopBits acc;
+    acc.merge(bits(false, false));
+    EXPECT_TRUE(acc.none());
+    acc.merge(bits(true, false));
+    EXPECT_TRUE(acc.clean);
+    acc.merge(bits(false, true));
+    EXPECT_TRUE(acc.clean);
+    EXPECT_TRUE(acc.dirty);
+}
+
+// ---------------------------------------------------------------------
+// Section 3.4: three-state scaled-back protocol.
+// ---------------------------------------------------------------------
+
+TEST(ThreeState, CollapsesToExclusiveNotExclusiveInvalid)
+{
+    EXPECT_EQ(threeStateOf(RegionState::Invalid), RegionState::Invalid);
+    EXPECT_EQ(threeStateOf(RegionState::CleanInvalid),
+              RegionState::DirtyInvalid);
+    EXPECT_EQ(threeStateOf(RegionState::DirtyInvalid),
+              RegionState::DirtyInvalid);
+    for (RegionState s : {RegionState::CleanClean, RegionState::CleanDirty,
+                          RegionState::DirtyClean,
+                          RegionState::DirtyDirty}) {
+        EXPECT_EQ(threeStateOf(s), RegionState::DirtyDirty)
+            << regionStateName(s);
+    }
+}
+
+TEST(ThreeState, SingleBitResponse)
+{
+    EXPECT_TRUE(threeStateBits(bits(true, false)).dirty);
+    EXPECT_TRUE(threeStateBits(bits(false, true)).dirty);
+    EXPECT_TRUE(threeStateBits(bits(true, true)).dirty);
+    EXPECT_TRUE(threeStateBits(bits(false, false)).none());
+    EXPECT_FALSE(threeStateBits(bits(true, true)).clean);
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps over the full state space.
+// ---------------------------------------------------------------------
+
+class RegionBroadcastSweep
+    : public ::testing::TestWithParam<std::tuple<RegionState, RequestType>>
+{
+};
+
+TEST_P(RegionBroadcastSweep, ResultConsistentWithResponseBits)
+{
+    const auto [prev, type] = GetParam();
+    for (bool granted_excl : {false, true}) {
+        for (bool rc : {false, true}) {
+            for (bool rd : {false, true}) {
+                const RegionState next =
+                    afterBroadcast(prev, type, granted_excl, bits(rc, rd));
+                if (type == RequestType::Writeback) {
+                    EXPECT_EQ(next, prev);
+                    continue;
+                }
+                // Never Invalid after acquiring region permission.
+                EXPECT_NE(next, RegionState::Invalid);
+                // External letter mirrors the response bits exactly.
+                EXPECT_EQ(isExternallyDirty(next), rd);
+                EXPECT_EQ(isExternallyClean(next), !rd && rc);
+                EXPECT_EQ(isRegionExclusive(next), !rd && !rc);
+                // Local letter: dirty iff previously dirty or taking (or
+                // being granted) a modifiable copy.
+                const bool want_dirty = isLocallyDirty(prev) ||
+                                        wantsExclusive(type) ||
+                                        granted_excl;
+                EXPECT_EQ(isLocallyDirty(next), want_dirty);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, RegionBroadcastSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllStates),
+                       ::testing::ValuesIn(kAllRequests)));
+
+class RegionExternalSweep : public ::testing::TestWithParam<RegionState>
+{
+};
+
+TEST_P(RegionExternalSweep, DowngradeNeverRaisesPermissions)
+{
+    const RegionState prev = GetParam();
+    for (bool excl : {false, true}) {
+        const RegionState next = afterExternalSnoop(prev, excl);
+        // The local letter never changes on an external request.
+        EXPECT_EQ(isLocallyDirty(next), isLocallyDirty(prev));
+        // External knowledge only ever gets more conservative.
+        if (prev == RegionState::Invalid) {
+            EXPECT_EQ(next, RegionState::Invalid);
+        } else {
+            EXPECT_FALSE(isRegionExclusive(next));
+            if (isExternallyDirty(prev))
+                EXPECT_TRUE(isExternallyDirty(next));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStates, RegionExternalSweep,
+                         ::testing::ValuesIn(kAllStates));
+
+class RegionRouteSweep
+    : public ::testing::TestWithParam<std::tuple<RegionState, RequestType>>
+{
+};
+
+TEST_P(RegionRouteSweep, RoutingIsSafe)
+{
+    const auto [state, type] = GetParam();
+    const RouteKind route = routeFor(type, state);
+    // Safety: a request may skip the broadcast only when the region state
+    // proves no conflicting remote copy can exist.
+    if (route != RouteKind::Broadcast && type != RequestType::Writeback) {
+        if (wantsExclusive(type) || type == RequestType::Read ||
+            type == RequestType::Dcbf || type == RequestType::Dcbi) {
+            // Needs exclusivity (or may take it): region must be CI/DI.
+            EXPECT_TRUE(isRegionExclusive(state))
+                << regionStateName(state) << " " << requestTypeName(type);
+        } else {
+            // Shared readers may also use externally clean regions.
+            EXPECT_TRUE(isRegionExclusive(state) ||
+                        isExternallyClean(state))
+                << regionStateName(state) << " " << requestTypeName(type);
+        }
+    }
+    // LocalComplete only ever applies to non-data requests.
+    if (route == RouteKind::LocalComplete)
+        EXPECT_FALSE(allocatesLine(type) && type != RequestType::Dcbz);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, RegionRouteSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllStates),
+                       ::testing::ValuesIn(kAllRequests)));
+
+TEST(RegionStates, Names)
+{
+    EXPECT_EQ(regionStateName(RegionState::Invalid), "I");
+    EXPECT_EQ(regionStateName(RegionState::CleanInvalid), "CI");
+    EXPECT_EQ(regionStateName(RegionState::CleanClean), "CC");
+    EXPECT_EQ(regionStateName(RegionState::CleanDirty), "CD");
+    EXPECT_EQ(regionStateName(RegionState::DirtyInvalid), "DI");
+    EXPECT_EQ(regionStateName(RegionState::DirtyClean), "DC");
+    EXPECT_EQ(regionStateName(RegionState::DirtyDirty), "DD");
+}
+
+} // namespace
+} // namespace cgct

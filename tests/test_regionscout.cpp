@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the RegionScout comparison tracker: NSRT fills/invalidations,
+ * CRH counting and snoop filtering, and its imprecision relative to CGCT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/regionscout.hpp"
+
+namespace cgct {
+namespace {
+
+RegionScoutParams
+smallParams()
+{
+    RegionScoutParams p;
+    p.regionBytes = 512;
+    p.nsrtSets = 4;
+    p.nsrtWays = 2;
+    p.crhEntries = 64;
+    return p;
+}
+
+SnoopResponse
+response(bool clean, bool dirty)
+{
+    SnoopResponse r;
+    r.region.clean = clean;
+    r.region.dirty = dirty;
+    r.memCtrl = 0;
+    return r;
+}
+
+class RegionScoutTest : public ::testing::Test
+{
+  protected:
+    RegionScoutTest() : rs(0, smallParams(), 64) {}
+    RegionScout rs;
+};
+
+TEST_F(RegionScoutTest, UnknownRegionBroadcasts)
+{
+    EXPECT_EQ(rs.route(RequestType::Read, 0x1000, 1).kind,
+              RouteKind::Broadcast);
+}
+
+TEST_F(RegionScoutTest, NotSharedResponseFillsNsrt)
+{
+    rs.onBroadcastResponse(RequestType::Read, 0x1000, true,
+                           response(false, false), 1);
+    EXPECT_EQ(rs.stats().nsrtFills, 1u);
+    const RouteDecision d = rs.route(RequestType::Read, 0x1040, 2);
+    EXPECT_EQ(d.kind, RouteKind::Direct);
+    // RegionScout has no memory-controller index.
+    EXPECT_EQ(d.memCtrl, kInvalidMemCtrl);
+}
+
+TEST_F(RegionScoutTest, SharedResponseDoesNotFill)
+{
+    rs.onBroadcastResponse(RequestType::Read, 0x1000, false,
+                           response(true, false), 1);
+    EXPECT_EQ(rs.route(RequestType::Read, 0x1000, 2).kind,
+              RouteKind::Broadcast);
+}
+
+TEST_F(RegionScoutTest, WritebacksAlwaysBroadcast)
+{
+    rs.onBroadcastResponse(RequestType::Read, 0x1000, true,
+                           response(false, false), 1);
+    // Unlike CGCT, write-backs cannot go direct (no controller index).
+    EXPECT_EQ(rs.route(RequestType::Writeback, 0x1000, 2).kind,
+              RouteKind::Broadcast);
+}
+
+TEST_F(RegionScoutTest, UpgradesCompleteLocallyOnNsrtHit)
+{
+    rs.onBroadcastResponse(RequestType::Read, 0x1000, true,
+                           response(false, false), 1);
+    EXPECT_EQ(rs.route(RequestType::Upgrade, 0x1000, 2).kind,
+              RouteKind::LocalComplete);
+    EXPECT_EQ(rs.route(RequestType::Dcbz, 0x1000, 3).kind,
+              RouteKind::LocalComplete);
+}
+
+TEST_F(RegionScoutTest, ExternalActivityInvalidatesNsrt)
+{
+    rs.onBroadcastResponse(RequestType::Read, 0x1000, true,
+                           response(false, false), 1);
+    rs.externalSnoop(0x1040, false);
+    EXPECT_EQ(rs.stats().nsrtInvalidations, 1u);
+    EXPECT_EQ(rs.route(RequestType::Read, 0x1000, 2).kind,
+              RouteKind::Broadcast);
+}
+
+TEST_F(RegionScoutTest, CrhFiltersSnoopsForUncachedRegions)
+{
+    const RegionSnoopBits bits = rs.externalSnoop(0x5000, false);
+    EXPECT_TRUE(bits.none());
+    EXPECT_EQ(rs.stats().crhFilteredSnoops, 1u);
+}
+
+TEST_F(RegionScoutTest, CrhReportsCachedRegionsConservatively)
+{
+    rs.onLineFill(0x5000);
+    const RegionSnoopBits bits = rs.externalSnoop(0x5000, false);
+    // Imprecise: reported as possibly dirty.
+    EXPECT_TRUE(bits.dirty);
+    rs.onLineEvict(0x5000);
+    EXPECT_TRUE(rs.externalSnoop(0x5000, false).none());
+}
+
+TEST_F(RegionScoutTest, CrhCountsMultipleLines)
+{
+    rs.onLineFill(0x5000);
+    rs.onLineFill(0x5040);
+    rs.onLineEvict(0x5000);
+    // One line still cached: still reports.
+    EXPECT_TRUE(rs.externalSnoop(0x5000, false).dirty);
+}
+
+TEST_F(RegionScoutTest, NsrtReplacementEvictsLru)
+{
+    // Fill one NSRT set (4 sets, stride = 4 * 512 = 2 KB) past capacity.
+    rs.onBroadcastResponse(RequestType::Read, 0x0000, true,
+                           response(false, false), 1);
+    rs.onBroadcastResponse(RequestType::Read, 0x2000, true,
+                           response(false, false), 2);
+    rs.onBroadcastResponse(RequestType::Read, 0x4000, true,
+                           response(false, false), 3);
+    // The oldest (0x0000) was displaced.
+    EXPECT_EQ(rs.route(RequestType::Read, 0x0000, 4).kind,
+              RouteKind::Broadcast);
+    EXPECT_EQ(rs.route(RequestType::Read, 0x2000, 5).kind,
+              RouteKind::Direct);
+    EXPECT_EQ(rs.route(RequestType::Read, 0x4000, 6).kind,
+              RouteKind::Direct);
+}
+
+TEST_F(RegionScoutTest, PeekStateMapsNsrtToExclusive)
+{
+    EXPECT_EQ(rs.peekState(0x1000), RegionState::Invalid);
+    rs.onBroadcastResponse(RequestType::Read, 0x1000, true,
+                           response(false, false), 1);
+    EXPECT_EQ(rs.peekState(0x1000), RegionState::DirtyInvalid);
+}
+
+TEST(RegionScoutDeath, CrhUnderflowPanics)
+{
+    RegionScoutParams p;
+    p.crhEntries = 64;
+    RegionScout rs(0, p, 64);
+    EXPECT_DEATH(rs.onLineEvict(0x5000), "underflow");
+}
+
+} // namespace
+} // namespace cgct

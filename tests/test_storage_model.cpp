@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the Table 2 storage model: every row of the paper's table must
+ * be reproduced bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "core/storage_model.hpp"
+
+namespace cgct {
+namespace {
+
+/** One expected Table 2 row. */
+struct Expected {
+    std::uint64_t entries;
+    std::uint64_t region;
+    unsigned tag;
+    unsigned count;
+    unsigned ecc;
+    unsigned total;
+    double tag_ovh;   // percent
+    double cache_ovh; // percent
+};
+
+class Table2Sweep : public ::testing::TestWithParam<Expected>
+{
+};
+
+TEST_P(Table2Sweep, MatchesPaperRow)
+{
+    const Expected &e = GetParam();
+    RcaDesignPoint dp;
+    dp.rcaEntries = e.entries;
+    dp.regionBytes = e.region;
+    const RcaStorageRow row = computeRcaStorage(dp);
+    EXPECT_EQ(row.tagBits, e.tag);
+    EXPECT_EQ(row.stateBits, 3u);
+    EXPECT_EQ(row.lineCountBits, e.count);
+    EXPECT_EQ(row.memCtrlIdBits, 6u);
+    EXPECT_EQ(row.lruBits, 1u);
+    EXPECT_EQ(row.eccBits, e.ecc);
+    EXPECT_EQ(row.totalBitsPerSet, e.total);
+    // The paper rounds its cache-set accounting to 23 bytes; allow a
+    // quarter point on the tag-space ratio.
+    EXPECT_NEAR(row.tagSpaceOverhead * 100.0, e.tag_ovh, 0.25);
+    EXPECT_NEAR(row.cacheSpaceOverhead * 100.0, e.cache_ovh, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2Sweep,
+    ::testing::Values(
+        // 4K entries: Table 2 rows 1-3.
+        Expected{4096, 256, 21, 3, 9, 76, 10.2, 1.6},
+        Expected{4096, 512, 20, 4, 9, 76, 10.2, 1.6},
+        Expected{4096, 1024, 19, 5, 9, 76, 10.2, 1.6},
+        // 8K entries: rows 4-6.
+        Expected{8192, 256, 20, 3, 8, 73, 19.6, 3.0},
+        Expected{8192, 512, 19, 4, 8, 73, 19.6, 3.0},
+        Expected{8192, 1024, 18, 5, 8, 73, 19.6, 3.0},
+        // 16K entries: rows 7-9.
+        Expected{16384, 256, 19, 3, 8, 71, 38.2, 5.9},
+        Expected{16384, 512, 18, 4, 8, 71, 38.2, 5.9},
+        Expected{16384, 1024, 17, 5, 8, 71, 38.2, 5.9}));
+
+TEST(StorageModel, Section32HeadlineNumbers)
+{
+    // "For the same number of RCA entries as cache entries and 512-byte
+    //  regions, the overhead is 5.9%. If the number of entries is halved,
+    //  the overhead is nearly halved, to 3%."
+    RcaDesignPoint full;
+    full.rcaEntries = 16384;
+    full.regionBytes = 512;
+    EXPECT_NEAR(computeRcaStorage(full).cacheSpaceOverhead, 0.059, 0.001);
+    RcaDesignPoint half = full;
+    half.rcaEntries = 8192;
+    EXPECT_NEAR(computeRcaStorage(half).cacheSpaceOverhead, 0.030, 0.001);
+}
+
+TEST(StorageModel, PrintTableContainsAllRows)
+{
+    std::ostringstream os;
+    printStorageTable(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Table 2"), std::string::npos);
+    EXPECT_NE(out.find("4K"), std::string::npos);
+    EXPECT_NE(out.find("16K"), std::string::npos);
+    EXPECT_NE(out.find("Tag-ovh"), std::string::npos);
+    EXPECT_NE(out.find("5.9%"), std::string::npos);
+}
+
+TEST(StorageModel, LargerLinesReduceRelativeOverhead)
+{
+    // Section 3.2: "The relative overhead is less for systems with larger,
+    //  128-byte cache lines like the current IBM Power systems."
+    RcaDesignPoint p64;
+    p64.rcaEntries = 16384; // One entry per 64-byte cache line.
+    p64.regionBytes = 512;
+    RcaDesignPoint p128 = p64;
+    p128.cacheLineBytes = 128;
+    p128.rcaEntries = 8192; // Still one entry per (now larger) line.
+    EXPECT_LT(computeRcaStorage(p128).cacheSpaceOverhead,
+              computeRcaStorage(p64).cacheSpaceOverhead);
+}
+
+} // namespace
+} // namespace cgct

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * cgct_sim — the command-line simulator driver. Runs any benchmark (or a
+ * recorded trace) on a configurable system, baseline or CGCT, and prints
+ * a human-readable summary, the full component statistics, or JSON.
+ *
+ *   cgct_sim tpc-w --region 512 --seeds 3
+ *   cgct_sim barnes --baseline --stats
+ *   cgct_sim --trace run.trace --region 1024 --json
+ *   cgct_sim --list
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/argparse.hpp"
+#include "common/log.hpp"
+#include "common/config.hpp"
+#include "sim/json_stats.hpp"
+#include "sim/simulator.hpp"
+#include "sim/system.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+using namespace cgct;
+
+namespace {
+
+void
+printSummary(const RunResult &r)
+{
+    std::printf("workload            %s\n", r.workload.c_str());
+    std::printf("region size         %s\n",
+                r.regionBytes ? (std::to_string(r.regionBytes) + " B")
+                                    .c_str()
+                              : "(baseline: CGCT off)");
+    std::printf("runtime             %llu cycles\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions        %llu (IPC %.2f over 4 CPUs)\n",
+                static_cast<unsigned long long>(r.instructions),
+                r.cycles ? static_cast<double>(r.instructions) /
+                               static_cast<double>(r.cycles)
+                         : 0.0);
+    std::printf("system requests     %llu = %llu broadcast + %llu direct "
+                "+ %llu local\n",
+                static_cast<unsigned long long>(r.requestsTotal),
+                static_cast<unsigned long long>(r.broadcasts),
+                static_cast<unsigned long long>(r.directs),
+                static_cast<unsigned long long>(r.locals));
+    std::printf("avoided broadcasts  %.1f%% of requests\n",
+                100.0 * r.avoidedFraction());
+    std::printf("oracle unnecessary  %.1f%% of broadcasts\n",
+                100.0 * r.oracleUnnecessaryFraction());
+    std::printf("L2 miss ratio       %.2f%%\n", 100.0 * r.l2MissRatio);
+    std::printf("avg miss latency    %.1f cycles\n", r.avgMissLatency);
+    std::printf("broadcast traffic   %.0f avg / %.0f peak per 100K "
+                "cycles\n",
+                r.avgBroadcastsPer100k, r.peakBroadcastsPer100k);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "tpc-w";
+    std::uint64_t region = 512;
+    bool baseline = false;
+    bool three_state = false;
+    bool no_self_inval = false;
+    bool no_favor_empty = false;
+    bool prefetch_hints = false;
+    bool shared_rca = false;
+    bool dma = false;
+    std::uint64_t ops = 120000;
+    std::uint64_t warmup = 0;
+    std::uint64_t seeds = 1;
+    std::uint64_t seed = 20050609;
+    std::uint64_t cpus = 4;
+    std::uint64_t rca_sets = 8192;
+    bool json = false;
+    bool stats = false;
+    bool list = false;
+    std::string trace_path;
+
+    ArgParser parser(
+        "cgct_sim",
+        "Run one of the paper's workloads (or a recorded trace) on the "
+        "four-processor Fireplane-like system, with or without "
+        "Coarse-Grain Coherence Tracking.");
+    parser.addPositional("benchmark", &benchmark,
+                         "benchmark name (see --list); default tpc-w");
+    parser.addFlag("list", &list, "list available benchmarks and exit");
+    parser.addFlag("baseline", &baseline, "disable CGCT");
+    parser.addU64("region", &region, "region size in bytes (256/512/1024)");
+    parser.addU64("rca-sets", &rca_sets, "RCA sets (2-way)");
+    parser.addFlag("three-state", &three_state,
+                   "use the scaled-back 3-state protocol (paper 3.4)");
+    parser.addFlag("no-self-invalidation", &no_self_inval,
+                   "disable line-count self-invalidation");
+    parser.addFlag("no-favor-empty", &no_favor_empty,
+                   "plain-LRU RCA replacement");
+    parser.addFlag("prefetch-hints", &prefetch_hints,
+                   "region-aware prefetch hints (paper 6)");
+    parser.addFlag("shared-rca", &shared_rca,
+                   "one RCA per chip shared by its cores (paper 3.2)");
+    parser.addFlag("dma", &dma, "enable I/O-bridge DMA traffic");
+    parser.addU64("cpus", &cpus, "number of processors");
+    parser.addU64("ops", &ops, "memory operations per processor");
+    parser.addU64("warmup", &warmup,
+                  "warmup ops per processor (0 = ops/5)");
+    parser.addU64("seeds", &seeds, "runs (seeds) to average");
+    parser.addU64("seed", &seed, "base random seed");
+    parser.addString("trace", &trace_path,
+                     "replay this trace file instead of a benchmark");
+    parser.addFlag("json", &json, "print results as JSON");
+    parser.addFlag("stats", &stats, "dump full component statistics");
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "cgct_sim: %s (try --help)\n", error.c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        parser.printHelp(std::cout);
+        return 0;
+    }
+    if (list) {
+        for (const auto &p : standardBenchmarks())
+            std::printf("%-16s %s\n", p.name.c_str(),
+                        p.description.c_str());
+        return 0;
+    }
+
+    SystemConfig config = makeDefaultConfig();
+    config.topology.numCpus = static_cast<unsigned>(cpus);
+    if (!baseline) {
+        config = config.withCgct(region,
+                                 static_cast<unsigned>(rca_sets), 2);
+        config.cgct.threeStateProtocol = three_state;
+        config.cgct.selfInvalidation = !no_self_inval;
+        config.cgct.favorEmptyRegions = !no_favor_empty;
+        config.cgct.regionPrefetchHints = prefetch_hints;
+        config.cgct.sharedPerChip = shared_rca;
+    }
+    config.dma.enabled = dma;
+    config.validate();
+
+    RunOptions opts;
+    opts.opsPerCpu = ops;
+    opts.warmupOps = warmup ? warmup : ops / 5;
+    opts.seed = seed;
+
+    std::vector<RunResult> results;
+    if (!trace_path.empty()) {
+        // Trace replay: drive a System directly from the trace.
+        TraceReader reader(trace_path);
+        if (reader.numCpus() != config.topology.numCpus)
+            fatal("trace has %u CPUs but the system has %u",
+                  reader.numCpus(), config.topology.numCpus);
+        System sys(config, reader);
+        sys.start();
+        sys.eq().run();
+        RunResult r;
+        r.workload = "trace:" + trace_path;
+        r.regionBytes = config.cgct.enabled ? config.cgct.regionBytes : 0;
+        r.cycles = sys.maxCoreClock();
+        for (unsigned i = 0; i < sys.numCpus(); ++i) {
+            const auto &ns = sys.node(i).stats();
+            r.requestsTotal += ns.requestsTotal;
+            r.broadcasts += ns.broadcasts;
+            r.directs += ns.directs;
+            r.locals += ns.localCompletes;
+            r.instructions += sys.core(i).instructions();
+        }
+        results.push_back(r);
+        if (stats)
+            sys.dumpStats(std::cout);
+    } else {
+        const WorkloadProfile &profile = benchmarkByName(benchmark);
+        results = simulateSeeds(config, profile, opts,
+                                static_cast<unsigned>(seeds));
+    }
+
+    if (json) {
+        std::cout << toJson(results);
+        return 0;
+    }
+
+    for (const auto &r : results) {
+        printSummary(r);
+        std::printf("\n");
+    }
+    if (results.size() > 1) {
+        const RunSummary s = runtimeSummary(results);
+        std::printf("runtime over %zu seeds: mean %.0f cycles "
+                    "(95%% CI ±%.0f)\n",
+                    results.size(), s.mean, s.ci95Half);
+    }
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * cgct_sweep — run the full benchmark x configuration matrix and emit one
+ * CSV row per run, ready for plotting Figures 7/8/10 with any tool.
+ *
+ *   cgct_sweep --ops 120000 --seeds 3 > sweep.csv
+ *   cgct_sweep --benchmarks tpc-w,barnes --regions 512 --seeds 5
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "common/config.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace cgct;
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+emitRow(const RunResult &r, std::uint64_t seed)
+{
+    std::printf("%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,"
+                "%.6f,%.2f,%.2f,%.6f,%.2f\n",
+                r.workload.c_str(),
+                static_cast<unsigned long long>(r.regionBytes),
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                static_cast<unsigned long long>(r.requestsTotal),
+                static_cast<unsigned long long>(r.broadcasts),
+                static_cast<unsigned long long>(r.directs),
+                static_cast<unsigned long long>(r.locals),
+                static_cast<unsigned long long>(r.writebacks),
+                r.avoidedFraction(), r.oracleUnnecessaryFraction(),
+                r.avgBroadcastsPer100k, r.peakBroadcastsPer100k,
+                r.l2MissRatio, r.avgMissLatency);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmarks = "all";
+    std::string regions = "0,256,512,1024";
+    std::uint64_t ops = 120000;
+    std::uint64_t warmup = 0;
+    std::uint64_t seeds = 3;
+    std::uint64_t seed = 20050609;
+
+    ArgParser parser("cgct_sweep",
+                     "Run the benchmark x region-size matrix and print "
+                     "CSV (region 0 = baseline).");
+    parser.addString("benchmarks", &benchmarks,
+                     "comma-separated benchmark names, or 'all'");
+    parser.addString("regions", &regions,
+                     "comma-separated region sizes; 0 = baseline");
+    parser.addU64("ops", &ops, "ops per processor per run");
+    parser.addU64("warmup", &warmup, "warmup ops (0 = ops/5)");
+    parser.addU64("seeds", &seeds, "seeds per configuration");
+    parser.addU64("seed", &seed, "base seed");
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "cgct_sweep: %s (try --help)\n",
+                     error.c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        parser.printHelp(std::cout);
+        return 0;
+    }
+
+    std::vector<const WorkloadProfile *> profiles;
+    if (benchmarks == "all") {
+        for (const auto &p : standardBenchmarks())
+            profiles.push_back(&p);
+    } else {
+        for (const auto &name : splitCsv(benchmarks))
+            profiles.push_back(&benchmarkByName(name));
+    }
+
+    std::vector<std::uint64_t> region_sizes;
+    for (const auto &r : splitCsv(regions))
+        region_sizes.push_back(std::strtoull(r.c_str(), nullptr, 10));
+
+    RunOptions opts;
+    opts.opsPerCpu = ops;
+    opts.warmupOps = warmup ? warmup : ops / 5;
+
+    std::printf("workload,region_bytes,seed,cycles,instructions,"
+                "requests,broadcasts,directs,locals,writebacks,"
+                "avoided_fraction,oracle_unnecessary_fraction,"
+                "avg_bcast_per_100k,peak_bcast_per_100k,l2_miss_ratio,"
+                "avg_miss_latency\n");
+
+    const SystemConfig base = makeDefaultConfig();
+    for (const WorkloadProfile *profile : profiles) {
+        for (std::uint64_t region : region_sizes) {
+            const SystemConfig config =
+                region ? base.withCgct(region) : base;
+            opts.seed = seed;
+            for (std::uint64_t s = 0; s < seeds; ++s) {
+                opts.seed = opts.seed * 2654435761ULL + 12345;
+                emitRow(simulateOnce(config, *profile, opts), opts.seed);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * cgct_trace — record and inspect workload traces.
+ *
+ *   cgct_trace record tpc-w out.trace --ops 100000 --seed 7
+ *   cgct_trace info out.trace
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/argparse.hpp"
+#include "common/config.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+using namespace cgct;
+
+namespace {
+
+int
+cmdRecord(const std::string &benchmark, const std::string &path,
+          std::uint64_t cpus, std::uint64_t ops, std::uint64_t seed)
+{
+    const WorkloadProfile &profile = benchmarkByName(benchmark);
+    SyntheticWorkload workload(profile, static_cast<unsigned>(cpus), ops,
+                               seed);
+    const std::uint64_t written =
+        captureTrace(workload, static_cast<unsigned>(cpus), ops, path);
+    std::printf("recorded %llu ops (%llu per CPU x %llu CPUs) of '%s' "
+                "to %s\n",
+                static_cast<unsigned long long>(written),
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(cpus),
+                profile.name.c_str(), path.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    TraceReader reader(path);
+    std::printf("trace               %s\n", path.c_str());
+    std::printf("processors          %u\n", reader.numCpus());
+    std::printf("declared ops/cpu    %llu\n",
+                static_cast<unsigned long long>(reader.opsPerCpu()));
+    std::printf("records             %llu\n",
+                static_cast<unsigned long long>(reader.totalRecords()));
+
+    // Walk every stream for a composition summary.
+    std::map<CpuOpKind, std::uint64_t> kinds;
+    std::uint64_t gaps = 0;
+    Addr min_addr = ~0ULL, max_addr = 0;
+    for (unsigned cpu = 0; cpu < reader.numCpus(); ++cpu) {
+        CpuOp op;
+        while (reader.next(static_cast<CpuId>(cpu), op)) {
+            ++kinds[op.kind];
+            gaps += op.gap;
+            min_addr = std::min(min_addr, op.addr);
+            max_addr = std::max(max_addr, op.addr);
+        }
+    }
+    std::printf("address range       [0x%llx, 0x%llx]\n",
+                static_cast<unsigned long long>(min_addr),
+                static_cast<unsigned long long>(max_addr));
+    std::printf("mean gap            %.2f instructions\n",
+                reader.totalRecords()
+                    ? static_cast<double>(gaps) /
+                          static_cast<double>(reader.totalRecords())
+                    : 0.0);
+    std::printf("composition:\n");
+    for (const auto &[kind, count] : kinds) {
+        std::printf("  %-8s %10llu (%.1f%%)\n",
+                    std::string(cpuOpKindName(kind)).c_str(),
+                    static_cast<unsigned long long>(count),
+                    100.0 * static_cast<double>(count) /
+                        static_cast<double>(reader.totalRecords()));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string command;
+    std::string arg1, arg2;
+    std::uint64_t cpus = 4;
+    std::uint64_t ops = 100000;
+    std::uint64_t seed = 20050609;
+
+    ArgParser parser("cgct_trace",
+                     "Record benchmark op streams to a trace file, or "
+                     "inspect an existing trace.\n"
+                     "commands: record <benchmark> <file>, info <file>");
+    parser.addPositional("command", &command, "record | info", true);
+    parser.addPositional("arg1", &arg1, "benchmark (record) or file "
+                                        "(info)");
+    parser.addPositional("arg2", &arg2, "output file (record)");
+    parser.addU64("cpus", &cpus, "processors to record");
+    parser.addU64("ops", &ops, "ops per processor");
+    parser.addU64("seed", &seed, "generator seed");
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "cgct_trace: %s (try --help)\n",
+                     error.c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        parser.printHelp(std::cout);
+        return 0;
+    }
+
+    if (command == "record") {
+        if (arg1.empty() || arg2.empty()) {
+            std::fprintf(stderr,
+                         "cgct_trace: record needs <benchmark> <file>\n");
+            return 1;
+        }
+        return cmdRecord(arg1, arg2, cpus, ops, seed);
+    }
+    if (command == "info") {
+        if (arg1.empty()) {
+            std::fprintf(stderr, "cgct_trace: info needs <file>\n");
+            return 1;
+        }
+        return cmdInfo(arg1);
+    }
+    std::fprintf(stderr, "cgct_trace: unknown command '%s'\n",
+                 command.c_str());
+    return 1;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sweep-harness scaling microbenchmark: runs the same benchmark x
+ * region-size x seed matrix at 1, 2, 4, ... worker threads, verifies the
+ * emitted rows stay byte-identical, and reports wall-clock and speedup
+ * per thread count. This gives the repo a perf trajectory for the
+ * experiment loop itself (the simulated machine has its own benches).
+ *
+ * Environment knobs:
+ *   CGCT_OPS          ops per processor per run (default 20000 here —
+ *                     smaller than the figure benches; this bench cares
+ *                     about harness scaling, not simulated accuracy)
+ *   CGCT_SEEDS        seeds per configuration    (default 3)
+ *   CGCT_MAX_THREADS  largest thread count tried (default 8)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/sweep.hpp"
+
+using namespace cgct;
+using namespace cgct::bench;
+
+namespace {
+
+std::string
+runMatrix(const SweepSpec &spec, unsigned jobs, double *seconds)
+{
+    std::ostringstream os;
+    writeSweepCsvHeader(os);
+    SweepRunner runner(spec, jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    runner.run([&os](const SweepCell &, const RunResult &r) {
+        writeSweepCsvRow(os, r);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    *seconds = std::chrono::duration<double>(t1 - t0).count();
+    return os.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    SweepSpec spec;
+    spec.profiles = {&benchmarkByName("tpc-w"),
+                     &benchmarkByName("barnes"),
+                     &benchmarkByName("ocean")};
+    spec.regionSizes = {0, 256, 512, 1024};
+    spec.seedsPerCell = defaultSeeds();
+    spec.baseSeed = 20050609;
+    spec.opts.opsPerCpu = envU64("CGCT_OPS", 20000);
+    spec.opts.warmupOps = spec.opts.opsPerCpu / 5;
+    spec.baseConfig = makeDefaultConfig();
+
+    const unsigned hw = ThreadPool::defaultThreads();
+    const unsigned max_threads =
+        static_cast<unsigned>(envU64("CGCT_MAX_THREADS", 8));
+
+    std::printf("Sweep scaling: %zu benchmarks x %zu regions x %u seeds "
+                "= %zu runs (%llu ops/cpu, %u hardware threads)\n\n",
+                spec.profiles.size(), spec.regionSizes.size(),
+                spec.seedsPerCell,
+                spec.profiles.size() * spec.regionSizes.size() *
+                    spec.seedsPerCell,
+                static_cast<unsigned long long>(spec.opts.opsPerCpu),
+                hw);
+    std::printf("%8s | %10s | %8s | %s\n", "threads", "wall (s)",
+                "speedup", "output vs serial");
+    std::printf("---------+------------+----------+-----------------\n");
+
+    double serial_s = 0.0;
+    const std::string serial_rows = runMatrix(spec, 1, &serial_s);
+    std::printf("%8u | %10.3f | %7.2fx | %s\n", 1u, serial_s, 1.0,
+                "(reference)");
+
+    for (unsigned threads = 2; threads <= max_threads; threads *= 2) {
+        double s = 0.0;
+        const std::string rows = runMatrix(spec, threads, &s);
+        std::printf("%8u | %10.3f | %7.2fx | %s\n", threads, s,
+                    s > 0.0 ? serial_s / s : 0.0,
+                    rows == serial_rows ? "byte-identical"
+                                        : "MISMATCH (bug!)");
+    }
+
+    std::printf("\nexpect ~linear speedup up to the physical core count "
+                "(this host: %u); above it, gains flatten.\n", hw);
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,10 @@ namespace cgct {
 
 namespace {
 
-LogLevel g_threshold = LogLevel::Warn;
+// Atomic so concurrent sweep jobs can log while another thread adjusts
+// the threshold without a data race (the only global mutable state in
+// the library — everything a simulation touches is owned by its System).
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
 
 const char *
 levelName(LogLevel level)

@@ -39,6 +39,7 @@ toJson(const RunResult &r, const std::string &indent)
     os << indent << "{\n";
     os << indent << "  \"workload\": \"" << r.workload << "\",\n";
     field(os, indent, "region_bytes", r.regionBytes);
+    field(os, indent, "seed", r.seed);
     field(os, indent, "cycles", static_cast<std::uint64_t>(r.cycles));
     field(os, indent, "instructions", r.instructions);
     field(os, indent, "requests_total", r.requestsTotal);

@@ -36,6 +36,7 @@ struct RunResult {
 
     std::string workload;
     std::uint64_t regionBytes = 0;   ///< 0 = baseline (CGCT off).
+    std::uint64_t seed = 0;          ///< Seed that produced this run.
 
     Tick cycles = 0;                 ///< Measured runtime.
     std::uint64_t instructions = 0;  ///< Total retired, all CPUs.
@@ -105,6 +106,18 @@ RunResult simulateOnce(const SystemConfig &config,
 std::vector<RunResult> simulateSeeds(const SystemConfig &config,
                                      const WorkloadProfile &profile,
                                      RunOptions opts, unsigned n_seeds);
+
+/**
+ * Like simulateSeeds() — same seed chain, same result order — but runs
+ * the seeds concurrently on @p jobs worker threads (0 = hardware
+ * concurrency). Every run owns its simulation state, so the results are
+ * identical to the serial helper at any job count.
+ */
+std::vector<RunResult> simulateSeedsParallel(const SystemConfig &config,
+                                             const WorkloadProfile &profile,
+                                             RunOptions opts,
+                                             unsigned n_seeds,
+                                             unsigned jobs);
 
 /** Summarize the runtimes (cycles) of a batch of runs. */
 RunSummary runtimeSummary(const std::vector<RunResult> &runs);

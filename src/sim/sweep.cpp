@@ -1,0 +1,111 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <ostream>
+
+#include "common/thread_pool.hpp"
+
+namespace cgct {
+
+std::vector<SweepCell>
+SweepSpec::expand() const
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(profiles.size() * regionSizes.size() * seedsPerCell);
+    for (const WorkloadProfile *profile : profiles) {
+        for (std::uint64_t region : regionSizes) {
+            // The seed chain restarts from the base seed in every cell
+            // group, exactly like the serial sweep did.
+            std::uint64_t seed = baseSeed;
+            for (unsigned s = 0; s < seedsPerCell; ++s) {
+                seed = nextSweepSeed(seed);
+                SweepCell cell;
+                cell.index = cells.size();
+                cell.profile = profile;
+                cell.regionBytes = region;
+                cell.seed = seed;
+                cells.push_back(cell);
+            }
+        }
+    }
+    return cells;
+}
+
+SweepRunner::SweepRunner(SweepSpec spec, unsigned jobs)
+    : spec_(std::move(spec)),
+      jobs_(jobs ? jobs : ThreadPool::defaultThreads())
+{
+    cells_ = spec_.expand();
+}
+
+std::vector<RunResult>
+SweepRunner::run(const ResultFn &on_result, const ProgressFn &on_progress)
+{
+    const std::size_t total = cells_.size();
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(total);
+
+    std::atomic<std::size_t> completed{0};
+    ThreadPool pool(jobs_);
+    for (const SweepCell &cell : cells_) {
+        futures.push_back(pool.submit([this, &cell, &completed,
+                                       &on_progress, total] {
+            const SystemConfig config =
+                cell.regionBytes
+                    ? spec_.baseConfig.withCgct(cell.regionBytes)
+                    : spec_.baseConfig;
+            RunOptions opts = spec_.opts;
+            opts.seed = cell.seed;
+            RunResult r = simulateOnce(config, *cell.profile, opts);
+            if (on_progress)
+                on_progress(completed.fetch_add(1) + 1, total, cell);
+            return r;
+        }));
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        results.push_back(futures[i].get());
+        if (on_result)
+            on_result(cells_[i], results.back());
+    }
+    return results;
+}
+
+void
+writeSweepCsvHeader(std::ostream &os)
+{
+    os << "workload,region_bytes,seed,cycles,instructions,"
+          "requests,broadcasts,directs,locals,writebacks,"
+          "avoided_fraction,oracle_unnecessary_fraction,"
+          "avg_bcast_per_100k,peak_bcast_per_100k,l2_miss_ratio,"
+          "avg_miss_latency\n";
+}
+
+void
+writeSweepCsvRow(std::ostream &os, const RunResult &r)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,"
+                  "%.6f,%.2f,%.2f,%.6f,%.2f\n",
+                  r.workload.c_str(),
+                  static_cast<unsigned long long>(r.regionBytes),
+                  static_cast<unsigned long long>(r.seed),
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(r.instructions),
+                  static_cast<unsigned long long>(r.requestsTotal),
+                  static_cast<unsigned long long>(r.broadcasts),
+                  static_cast<unsigned long long>(r.directs),
+                  static_cast<unsigned long long>(r.locals),
+                  static_cast<unsigned long long>(r.writebacks),
+                  r.avoidedFraction(), r.oracleUnnecessaryFraction(),
+                  r.avgBroadcastsPer100k, r.peakBroadcastsPer100k,
+                  r.l2MissRatio, r.avgMissLatency);
+    os << buf;
+}
+
+} // namespace cgct

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parallel experiment sweep: expands the benchmark x region-size x seed
+ * matrix into independent jobs, runs them on a work-stealing thread pool,
+ * and hands results back in matrix order so the emitted CSV/JSON is
+ * byte-identical to a serial pass regardless of thread count or job
+ * completion order.
+ *
+ * Determinism contract: every cell's seed is derived at expansion time
+ * from the base seed alone (the same multiply-add chain the serial
+ * cgct_sweep always used), each job owns its entire simulation state
+ * (workload generator, RNGs, System), and rows are emitted strictly in
+ * cell-index order. Same spec + same base seed => same bytes at any
+ * --jobs value.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/simulator.hpp"
+#include "workload/profile.hpp"
+
+namespace cgct {
+
+/** The seed-chain step shared by cgct_sweep and simulateSeeds. */
+inline std::uint64_t
+nextSweepSeed(std::uint64_t s)
+{
+    return s * 2654435761ULL + 12345;
+}
+
+/** One cell of the experiment matrix (one simulation job). */
+struct SweepCell {
+    std::size_t index = 0;            ///< Emission order.
+    const WorkloadProfile *profile = nullptr;
+    std::uint64_t regionBytes = 0;    ///< 0 = baseline (CGCT off).
+    std::uint64_t seed = 0;           ///< Fully derived at expansion time.
+};
+
+/** Everything that defines a sweep. */
+struct SweepSpec {
+    std::vector<const WorkloadProfile *> profiles;
+    std::vector<std::uint64_t> regionSizes;  ///< 0 = baseline.
+    unsigned seedsPerCell = 3;
+    std::uint64_t baseSeed = 20050609;
+    RunOptions opts;                 ///< seed is overwritten per cell.
+    SystemConfig baseConfig;
+
+    /** Enumerate cells: profile-major, then region, then seed — the
+     * exact order the serial sweep always emitted. */
+    std::vector<SweepCell> expand() const;
+};
+
+/** Runs a SweepSpec's cells across a thread pool. */
+class SweepRunner
+{
+  public:
+    /** Called from worker threads after each job finishes. */
+    using ProgressFn =
+        std::function<void(std::size_t done, std::size_t total,
+                           const SweepCell &cell)>;
+    /** Called from the run() caller's thread, in cell-index order. */
+    using ResultFn =
+        std::function<void(const SweepCell &cell, const RunResult &r)>;
+
+    /** @param jobs worker threads; 0 = hardware concurrency. */
+    SweepRunner(SweepSpec spec, unsigned jobs);
+
+    const std::vector<SweepCell> &cells() const { return cells_; }
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every cell. @p on_result streams results in cell order (emit
+     * row k as soon as rows 0..k-1 have been emitted and k is done);
+     * @p on_progress fires on completion order. Returns all results in
+     * cell order.
+     */
+    std::vector<RunResult> run(const ResultFn &on_result = {},
+                               const ProgressFn &on_progress = {});
+
+  private:
+    SweepSpec spec_;
+    std::vector<SweepCell> cells_;
+    unsigned jobs_;
+};
+
+/** CSV header matching writeSweepCsvRow's column order. */
+void writeSweepCsvHeader(std::ostream &os);
+
+/** One CSV row (the historical cgct_sweep 16-column format). */
+void writeSweepCsvRow(std::ostream &os, const RunResult &r);
+
+} // namespace cgct

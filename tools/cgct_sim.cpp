@@ -79,6 +79,7 @@ main(int argc, char **argv)
     std::uint64_t warmup = 0;
     std::uint64_t seeds = 1;
     std::uint64_t seed = 20050609;
+    std::uint64_t jobs = 0;
     std::uint64_t cpus = 4;
     std::uint64_t rca_sets = 8192;
     bool json = false;
@@ -114,6 +115,9 @@ main(int argc, char **argv)
                   "warmup ops per processor (0 = ops/5)");
     parser.addU64("seeds", &seeds, "runs (seeds) to average");
     parser.addU64("seed", &seed, "base random seed");
+    parser.addU64("jobs", &jobs,
+                  "worker threads for multi-seed runs (0 = hardware "
+                  "concurrency, 1 = serial)");
     parser.addString("trace", &trace_path,
                      "replay this trace file instead of a benchmark");
     parser.addFlag("json", &json, "print results as JSON");
@@ -181,8 +185,15 @@ main(int argc, char **argv)
             sys.dumpStats(std::cout);
     } else {
         const WorkloadProfile &profile = benchmarkByName(benchmark);
-        results = simulateSeeds(config, profile, opts,
-                                static_cast<unsigned>(seeds));
+        // Seed chains are precomputed, so serial and parallel runs
+        // return identical results in identical order.
+        if (jobs == 1)
+            results = simulateSeeds(config, profile, opts,
+                                    static_cast<unsigned>(seeds));
+        else
+            results = simulateSeedsParallel(
+                config, profile, opts, static_cast<unsigned>(seeds),
+                static_cast<unsigned>(jobs));
     }
 
     if (json) {

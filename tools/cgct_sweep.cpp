@@ -1,11 +1,16 @@
 /**
  * @file
- * cgct_sweep — run the full benchmark x configuration matrix and emit one
- * CSV row per run, ready for plotting Figures 7/8/10 with any tool.
+ * cgct_sweep — run the full benchmark x configuration matrix in parallel
+ * and emit one row per run (CSV or JSON), ready for plotting Figures
+ * 7/8/10 with any tool. Rows are emitted in matrix order and are
+ * byte-identical at any --jobs value (see docs/SWEEP.md).
  *
  *   cgct_sweep --ops 120000 --seeds 3 > sweep.csv
  *   cgct_sweep --benchmarks tpc-w,barnes --regions 512 --seeds 5
+ *   cgct_sweep --jobs 8 --format json > sweep.json
  */
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <iostream>
@@ -15,7 +20,8 @@
 
 #include "common/argparse.hpp"
 #include "common/config.hpp"
-#include "sim/simulator.hpp"
+#include "sim/json_stats.hpp"
+#include "sim/sweep.hpp"
 #include "workload/benchmarks.hpp"
 
 using namespace cgct;
@@ -34,26 +40,6 @@ splitCsv(const std::string &s)
     return out;
 }
 
-void
-emitRow(const RunResult &r, std::uint64_t seed)
-{
-    std::printf("%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,"
-                "%.6f,%.2f,%.2f,%.6f,%.2f\n",
-                r.workload.c_str(),
-                static_cast<unsigned long long>(r.regionBytes),
-                static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(r.cycles),
-                static_cast<unsigned long long>(r.instructions),
-                static_cast<unsigned long long>(r.requestsTotal),
-                static_cast<unsigned long long>(r.broadcasts),
-                static_cast<unsigned long long>(r.directs),
-                static_cast<unsigned long long>(r.locals),
-                static_cast<unsigned long long>(r.writebacks),
-                r.avoidedFraction(), r.oracleUnnecessaryFraction(),
-                r.avgBroadcastsPer100k, r.peakBroadcastsPer100k,
-                r.l2MissRatio, r.avgMissLatency);
-}
-
 } // namespace
 
 int
@@ -65,10 +51,16 @@ main(int argc, char **argv)
     std::uint64_t warmup = 0;
     std::uint64_t seeds = 3;
     std::uint64_t seed = 20050609;
+    std::uint64_t jobs = 0;
+    std::string format = "csv";
+    bool progress = false;
+    bool no_progress = false;
 
     ArgParser parser("cgct_sweep",
-                     "Run the benchmark x region-size matrix and print "
-                     "CSV (region 0 = baseline).");
+                     "Run the benchmark x region-size matrix in parallel "
+                     "and print one row per run (region 0 = baseline). "
+                     "Output is deterministic: same seeds produce the "
+                     "same rows at any --jobs value.");
     parser.addString("benchmarks", &benchmarks,
                      "comma-separated benchmark names, or 'all'");
     parser.addString("regions", &regions,
@@ -77,6 +69,14 @@ main(int argc, char **argv)
     parser.addU64("warmup", &warmup, "warmup ops (0 = ops/5)");
     parser.addU64("seeds", &seeds, "seeds per configuration");
     parser.addU64("seed", &seed, "base seed");
+    parser.addU64("jobs", &jobs,
+                  "worker threads (0 = hardware concurrency)");
+    parser.addString("format", &format, "output format: csv or json");
+    parser.addFlag("progress", &progress,
+                   "force live progress on stderr (default: only when "
+                   "stderr is a terminal)");
+    parser.addFlag("no-progress", &no_progress,
+                   "suppress live progress on stderr");
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -88,41 +88,63 @@ main(int argc, char **argv)
         parser.printHelp(std::cout);
         return 0;
     }
-
-    std::vector<const WorkloadProfile *> profiles;
-    if (benchmarks == "all") {
-        for (const auto &p : standardBenchmarks())
-            profiles.push_back(&p);
-    } else {
-        for (const auto &name : splitCsv(benchmarks))
-            profiles.push_back(&benchmarkByName(name));
+    if (format != "csv" && format != "json") {
+        std::fprintf(stderr,
+                     "cgct_sweep: --format must be csv or json\n");
+        return 1;
     }
 
-    std::vector<std::uint64_t> region_sizes;
+    SweepSpec spec;
+    if (benchmarks == "all") {
+        for (const auto &p : standardBenchmarks())
+            spec.profiles.push_back(&p);
+    } else {
+        for (const auto &name : splitCsv(benchmarks))
+            spec.profiles.push_back(&benchmarkByName(name));
+    }
     for (const auto &r : splitCsv(regions))
-        region_sizes.push_back(std::strtoull(r.c_str(), nullptr, 10));
+        spec.regionSizes.push_back(
+            std::strtoull(r.c_str(), nullptr, 10));
+    spec.seedsPerCell = static_cast<unsigned>(seeds);
+    spec.baseSeed = seed;
+    spec.opts.opsPerCpu = ops;
+    spec.opts.warmupOps = warmup ? warmup : ops / 5;
+    spec.baseConfig = makeDefaultConfig();
 
-    RunOptions opts;
-    opts.opsPerCpu = ops;
-    opts.warmupOps = warmup ? warmup : ops / 5;
+    const bool show_progress =
+        !no_progress && (progress || isatty(STDERR_FILENO));
 
-    std::printf("workload,region_bytes,seed,cycles,instructions,"
-                "requests,broadcasts,directs,locals,writebacks,"
-                "avoided_fraction,oracle_unnecessary_fraction,"
-                "avg_bcast_per_100k,peak_bcast_per_100k,l2_miss_ratio,"
-                "avg_miss_latency\n");
+    SweepRunner runner(spec, static_cast<unsigned>(jobs));
+    if (show_progress)
+        std::fprintf(stderr, "cgct_sweep: %zu runs on %u threads\n",
+                     runner.cells().size(), runner.jobs());
 
-    const SystemConfig base = makeDefaultConfig();
-    for (const WorkloadProfile *profile : profiles) {
-        for (std::uint64_t region : region_sizes) {
-            const SystemConfig config =
-                region ? base.withCgct(region) : base;
-            opts.seed = seed;
-            for (std::uint64_t s = 0; s < seeds; ++s) {
-                opts.seed = opts.seed * 2654435761ULL + 12345;
-                emitRow(simulateOnce(config, *profile, opts), opts.seed);
-            }
-        }
+    SweepRunner::ProgressFn on_progress;
+    if (show_progress) {
+        on_progress = [](std::size_t done, std::size_t total,
+                         const SweepCell &cell) {
+            // One fprintf call per event keeps concurrent lines whole.
+            std::fprintf(stderr,
+                         "cgct_sweep: [%zu/%zu] %s region=%llu "
+                         "seed=%llu\n",
+                         done, total, cell.profile->name.c_str(),
+                         static_cast<unsigned long long>(
+                             cell.regionBytes),
+                         static_cast<unsigned long long>(cell.seed));
+        };
+    }
+
+    if (format == "csv") {
+        writeSweepCsvHeader(std::cout);
+        // Stream each row as soon as every earlier row is out.
+        runner.run([](const SweepCell &, const RunResult &r) {
+            writeSweepCsvRow(std::cout, r);
+            std::cout.flush();
+        }, on_progress);
+    } else {
+        const std::vector<RunResult> results =
+            runner.run({}, on_progress);
+        std::cout << toJson(results);
     }
     return 0;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# check_docs.sh — fail when a CLI flag registered in tools/*.cpp is not
+# documented in docs/SWEEP.md.
+#
+# Every option registered through ArgParser::addFlag/addU64/addDouble/
+# addString must appear in docs/SWEEP.md as `--name`, and every
+# positional registered through addPositional must appear as `<name>`.
+# Run from anywhere:
+#
+#   tools/check_docs.sh [repo-root]
+#
+# Wired into ctest as the `docs_check` test (see tests/CMakeLists.txt).
+
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+doc="$root/docs/SWEEP.md"
+fail=0
+
+if [ ! -f "$doc" ]; then
+    echo "check_docs: $doc is missing" >&2
+    exit 1
+fi
+
+for src in "$root"/tools/*.cpp; do
+    tool="$(basename "$src" .cpp)"
+
+    flags=$(grep -oE \
+        'add(Flag|U64|Double|String)\("[A-Za-z0-9-]+"' "$src" |
+        sed -E 's/.*\("([A-Za-z0-9-]+)"/\1/' | sort -u)
+    for flag in $flags; do
+        if ! grep -q -- "--$flag" "$doc"; then
+            echo "check_docs: $tool flag --$flag is not documented" \
+                 "in docs/SWEEP.md" >&2
+            fail=1
+        fi
+    done
+
+    positionals=$(grep -oE 'addPositional\("[A-Za-z0-9-]+"' "$src" |
+        sed -E 's/.*\("([A-Za-z0-9-]+)"/\1/' | sort -u)
+    for pos in $positionals; do
+        if ! grep -q -- "<$pos>" "$doc"; then
+            echo "check_docs: $tool positional <$pos> is not documented" \
+                 "in docs/SWEEP.md" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED — update docs/SWEEP.md" >&2
+    exit 1
+fi
+echo "check_docs: every tools/*.cpp flag is documented in docs/SWEEP.md"

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * bench_event_queue — microbenchmark for the calendar-queue event kernel,
+ * with a heap-allocation gate: the steady-state schedule()/runOne() loop
+ * must perform ZERO heap allocations (counted by overriding the global
+ * operator new/delete in this binary), or the bench exits non-zero.
+ *
+ * Emits one machine-readable JSON object on stdout (the numbers recorded
+ * in BENCH_kernel.json; schema validated by tools/bench_smoke.sh):
+ *
+ *   bench_event_queue [--events N]
+ *
+ * Patterns measured:
+ *   steady   self-rescheduling events at the small fixed latencies the
+ *            simulator actually uses (bus slot, snoop, DRAM, quantum),
+ *            mixed across priority classes — the hot path.
+ *   depth    schedule N events up front, then drain (worst-case bulk).
+ *   farmix   1/32 of events beyond the wheel horizon, exercising the
+ *            overflow heap and migration.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "event/event_queue.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+} // namespace
+
+// Counting allocator: every heap allocation in this binary is tallied so
+// the steady-state phases can assert they made none.
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    ::operator delete(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+namespace {
+
+using namespace cgct;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Steady-state pattern: a fixed population of self-rescheduling events at
+ * the simulator's characteristic latencies and priority classes. Returns
+ * events/second; aborts if the measured span allocated.
+ */
+double
+runSteady(std::uint64_t events, bool far_mix, std::uint64_t *allocs_out)
+{
+    struct Pattern {
+        Tick delay;
+        EventPriority prio;
+    };
+    // Bus slot / snoop resolution / L2 fill / DRAM / CPU quantum.
+    static constexpr Pattern kPatterns[] = {
+        {2, EventPriority::Snoop},   {16, EventPriority::Snoop},
+        {12, EventPriority::Data},   {80, EventPriority::Memory},
+        {400, EventPriority::Cpu},   {1, EventPriority::Default},
+    };
+    constexpr unsigned kNumPatterns = 6;
+    constexpr unsigned kPopulation = 64;
+
+    EventQueue eq;
+    std::uint64_t fired = 0;
+
+    // Each event reschedules itself with the next pattern, keeping the
+    // queue population constant. The capture is three words — far under
+    // the inline capacity.
+    struct Ticker {
+        EventQueue *eq;
+        std::uint64_t *fired;
+        unsigned idx;
+        bool farMix;
+
+        void
+        operator()()
+        {
+            ++*fired;
+            Ticker next = *this;
+            next.idx = (idx + 7) % kNumPatterns;
+            Tick delay = kPatterns[next.idx].delay;
+            if (farMix && (*fired & 31u) == 0)
+                delay += EventQueue::kWheelTicks + (*fired % 2048);
+            eq->scheduleIn(delay, next, kPatterns[next.idx].prio);
+        }
+    };
+
+    for (unsigned i = 0; i < kPopulation; ++i) {
+        Ticker t{&eq, &fired, i % kNumPatterns, far_mix};
+        eq.scheduleIn(kPatterns[t.idx].delay, t, kPatterns[t.idx].prio);
+    }
+
+    // Warmup sizes every bucket FIFO and the overflow heap, so the
+    // measured span below reuses capacity only.
+    const std::uint64_t warmup = events / 10 + 100000;
+    eq.run(warmup);
+
+    const std::uint64_t allocs_before = g_allocs.load();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t n = eq.run(events);
+    const double dt = secondsSince(t0);
+    const std::uint64_t allocs = g_allocs.load() - allocs_before;
+
+    *allocs_out = allocs;
+    if (allocs != 0) {
+        std::fprintf(stderr,
+                     "bench_event_queue: FAIL — %llu heap allocations in "
+                     "the steady-state %s loop (%llu events); the kernel "
+                     "hot path must be allocation-free\n",
+                     static_cast<unsigned long long>(allocs),
+                     far_mix ? "farmix" : "steady",
+                     static_cast<unsigned long long>(n));
+        std::exit(1);
+    }
+    return static_cast<double>(n) / dt;
+}
+
+/** Bulk pattern: schedule @p depth events up front, then drain. */
+double
+runDepth(std::uint64_t events, std::uint64_t depth)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    while (done < events) {
+        const Tick base = eq.now();
+        for (std::uint64_t i = 0; i < depth; ++i) {
+            eq.schedule(base + (i * 37) % 512,
+                        [&fired] { ++fired; },
+                        static_cast<EventPriority>(i %
+                                                   kNumEventPriorities));
+        }
+        eq.run();
+        done += depth;
+    }
+    return static_cast<double>(done) / secondsSince(t0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t events = 5000000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+            events = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_event_queue [--events N]\n");
+            return 2;
+        }
+    }
+    if (events < 1000)
+        events = 1000;
+
+    std::uint64_t steady_allocs = 0;
+    std::uint64_t farmix_allocs = 0;
+    const double steady = runSteady(events, /*far_mix=*/false,
+                                    &steady_allocs);
+    const double farmix = runSteady(events / 2, /*far_mix=*/true,
+                                    &farmix_allocs);
+    const double depth = runDepth(events / 2, 16384);
+
+    std::printf("{\n"
+                "  \"schema\": \"cgct-bench-event-queue-v1\",\n"
+                "  \"events\": %llu,\n"
+                "  \"steady_events_per_sec\": %.0f,\n"
+                "  \"steady_ns_per_event\": %.2f,\n"
+                "  \"steady_allocs\": %llu,\n"
+                "  \"farmix_events_per_sec\": %.0f,\n"
+                "  \"farmix_allocs\": %llu,\n"
+                "  \"depth16k_events_per_sec\": %.0f\n"
+                "}\n",
+                static_cast<unsigned long long>(events), steady,
+                1e9 / steady,
+                static_cast<unsigned long long>(steady_allocs), farmix,
+                static_cast<unsigned long long>(farmix_allocs), depth);
+    return 0;
+}

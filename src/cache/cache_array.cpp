@@ -84,7 +84,7 @@ CacheArray::invalidate(Addr addr)
 
 void
 CacheArray::forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
-                                const std::function<void(CacheLine &)> &fn)
+                                FunctionRef<void(CacheLine &)> fn)
 {
     for (Addr a = region_base; a < region_base + region_bytes;
          a += lineBytes_) {

@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 #include "coherence/protocol.hpp"
 
@@ -76,15 +76,17 @@ class CacheArray
 
     /**
      * Visit every valid line whose address falls inside the aligned region
-     * [region_base, region_base + region_bytes).
+     * [region_base, region_base + region_bytes). The visitor is a
+     * non-owning FunctionRef: this runs on the snoop/region-flush hot
+     * path, and a std::function here allocated per visit.
      */
     void
     forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
-                        const std::function<void(CacheLine &)> &fn);
+                        FunctionRef<void(CacheLine &)> fn);
 
     /** Visit every valid line (tests / invariant checks). */
     void
-    forEachValidLine(const std::function<void(const CacheLine &)> &fn) const
+    forEachValidLine(FunctionRef<void(const CacheLine &)> fn) const
     {
         for (const auto &frame : frames_)
             if (frame.valid())

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/region_protocol.hpp"
@@ -107,10 +107,9 @@ class RegionCoherenceArray
     const Stats &stats() const { return stats_; }
     void addStats(StatGroup &group) const;
 
-    /** Visit every valid entry (tests / invariant checks). */
+    /** Visit every valid entry (non-owning visitor; see FunctionRef). */
     void
-    forEachValidEntry(
-        const std::function<void(const RegionEntry &)> &fn) const
+    forEachValidEntry(FunctionRef<void(const RegionEntry &)> fn) const
     {
         for (const auto &e : entries_)
             if (e.valid())

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/inline_function.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "coherence/snoop.hpp"
@@ -57,12 +58,22 @@ class Bus
 {
   public:
     /**
+     * Inline capture capacity of a snoop-response continuation: sized for
+     * the node's fattest continuation (request descriptor + completion
+     * std::function + scalars) with no heap fallback.
+     */
+    static constexpr std::size_t kResponseFnCapacity = 104;
+
+    /**
      * Called with the aggregated response when the snoop resolves.
+     * Allocation-free: the capture lives inline in the bus queue / event
+     * wheel (oversized captures fail to compile).
      * @param data_ready tick when the critical word reaches the requester
      *        (equals the resolution tick for requests without data).
      */
     using ResponseFn =
-        std::function<void(const SnoopResponse &, Tick data_ready)>;
+        InlineFunction<void(const SnoopResponse &, Tick data_ready),
+                       kResponseFnCapacity>;
 
     /** Observer invoked at resolution time *before* any state changes. */
     using Observer = std::function<void(const SystemRequest &)>;

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — CI smoke for the event-kernel perf gate.
+#
+#   tools/bench_smoke.sh <bench_event_queue-binary> [repo-root]
+#
+# 1. Runs bench_event_queue for a few iterations. The binary itself
+#    enforces the zero-allocation contract (it exits non-zero if the
+#    steady-state schedule/runOne loop touched the heap), so a pass here
+#    is the allocation gate, not just a liveness check.
+# 2. Validates the bench's JSON output against the expected schema.
+# 3. Validates the recorded repo baseline BENCH_kernel.json against its
+#    schema, so the committed perf record can't silently rot.
+#
+# Wired into ctest as the `bench_smoke` test (see tests/CMakeLists.txt).
+
+set -u
+
+bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root]}"
+root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+if [ ! -x "$bench" ]; then
+    echo "bench_smoke: bench binary not found: $bench" >&2
+    exit 1
+fi
+
+out="$("$bench" --events 50000)" || {
+    echo "bench_smoke: bench_event_queue failed (allocation gate?)" >&2
+    exit 1
+}
+
+json_check() {
+    # json_check <json-string> <label> <required-key>...
+    local payload="$1" label="$2"
+    shift 2
+    if command -v python3 >/dev/null 2>&1; then
+        printf '%s' "$payload" | python3 -c '
+import json, sys
+label = sys.argv[1]
+required = sys.argv[2:]
+try:
+    doc = json.load(sys.stdin)
+except Exception as e:
+    sys.exit(f"bench_smoke: {label}: invalid JSON: {e}")
+missing = [k for k in required if k not in doc]
+if missing:
+    sys.exit(f"bench_smoke: {label}: missing keys: {missing}")
+for k, v in doc.items():
+    if k.endswith("_allocs") and v != 0:
+        sys.exit(f"bench_smoke: {label}: {k} = {v}, expected 0")
+' "$label" "$@"
+        # Fallback without python3: key-presence grep only.
+        local key
+        for key in "$@"; do
+            if ! printf '%s' "$payload" | grep -q "\"$key\""; then
+                echo "bench_smoke: $label: missing key \"$key\"" >&2
+                return 1
+            fi
+        done
+    fi
+}
+
+json_check "$out" "bench_event_queue output" \
+    schema events steady_events_per_sec steady_allocs \
+    farmix_events_per_sec farmix_allocs depth16k_events_per_sec || exit 1
+
+baseline="$root/BENCH_kernel.json"
+if [ ! -f "$baseline" ]; then
+    echo "bench_smoke: $baseline is missing (record the kernel perf" \
+         "baseline; see docs/PERF.md)" >&2
+    exit 1
+fi
+json_check "$(cat "$baseline")" "BENCH_kernel.json" \
+    schema date build event_queue sweep || exit 1
+
+echo "bench_smoke: OK — allocation gate passed, JSON schemas valid"

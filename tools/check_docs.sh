@@ -47,8 +47,26 @@ for src in "$root"/tools/*.cpp; do
     done
 done
 
+# Performance documentation: docs/PERF.md must exist and cover the perf
+# bench targets, tooling entry points, and build knobs, so the recorded
+# kernel baseline stays discoverable and reproducible.
+perf_doc="$root/docs/PERF.md"
+if [ ! -f "$perf_doc" ]; then
+    echo "check_docs: $perf_doc is missing" >&2
+    fail=1
+else
+    for token in bench_event_queue bench_sweep_scaling bench_smoke \
+                 CGCT_SANITIZE BENCH_kernel.json cgct_sweep --events; do
+        if ! grep -q -- "$token" "$perf_doc"; then
+            echo "check_docs: docs/PERF.md does not mention $token" >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
-    echo "check_docs: FAILED — update docs/SWEEP.md" >&2
+    echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md" >&2
     exit 1
 fi
-echo "check_docs: every tools/*.cpp flag is documented in docs/SWEEP.md"
+echo "check_docs: every tools/*.cpp flag is documented in docs/SWEEP.md," \
+     "and docs/PERF.md covers the perf targets"

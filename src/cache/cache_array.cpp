@@ -93,6 +93,18 @@ CacheArray::forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
     }
 }
 
+void
+CacheArray::forEachLineInRegion(
+    Addr region_base, std::uint64_t region_bytes,
+    FunctionRef<void(const CacheLine &)> fn) const
+{
+    for (Addr a = region_base; a < region_base + region_bytes;
+         a += lineBytes_) {
+        if (const CacheLine *line = find(a))
+            fn(*line);
+    }
+}
+
 std::uint64_t
 CacheArray::countValid() const
 {

@@ -83,6 +83,9 @@ class CacheArray
     void
     forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
                         FunctionRef<void(CacheLine &)> fn);
+    void
+    forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
+                        FunctionRef<void(const CacheLine &)> fn) const;
 
     /** Visit every valid line (tests / invariant checks). */
     void

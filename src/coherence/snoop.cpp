@@ -1,3 +1,15 @@
 #include "coherence/snoop.hpp"
 
-// Messages are plain data; this translation unit anchors the module.
+#include "common/trace_sink.hpp"
+#include "core/region_protocol.hpp"
+
+namespace cgct {
+
+void
+traceRouteDecision(TraceSink *sink, Tick now, CpuId cpu, RequestType type,
+                   Addr line_addr, RouteKind route, RegionState state)
+{
+    CGCT_TRACE(sink, route(now, cpu, type, line_addr, route, state));
+}
+
+} // namespace cgct

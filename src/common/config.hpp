@@ -121,6 +121,21 @@ struct CgctParams {
     }
 };
 
+/**
+ * Observability knobs (docs/TRACING.md). Both default off; neither
+ * affects simulated behavior, only what is recorded / verified.
+ */
+struct ObservabilityParams {
+    /** Buffer structured trace events for the whole run. */
+    bool trace = false;
+    /**
+     * Cross-validate region states against ground-truth cache contents
+     * after every transition (sim/invariants.hpp). Debug builds enable
+     * this automatically whenever CGCT is on.
+     */
+    bool checkInvariants = false;
+};
+
 /** DMA / I/O-bridge traffic (Table 3's 512-byte DMA buffers). */
 struct DmaParams {
     bool enabled = false;
@@ -179,6 +194,8 @@ struct SystemConfig {
     CgctParams cgct;
     /** I/O-bridge DMA traffic (disabled by default). */
     DmaParams dma;
+    /** Tracing / invariant checking (disabled by default). */
+    ObservabilityParams obs;
     /** DMA buffer size (Table 3). */
     std::uint64_t dmaBufferBytes = 512;
 

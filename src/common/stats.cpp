@@ -1,7 +1,10 @@
 #include "common/stats.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <ostream>
+
+#include "common/log.hpp"
 
 namespace cgct {
 
@@ -21,9 +24,33 @@ StatGroup::addDerived(std::string name, std::string desc,
 }
 
 void
+StatGroup::addHistogram(std::string name, std::string desc,
+                        const Histogram *h)
+{
+    Entry e{std::move(name), std::move(desc), nullptr, {}, h, nullptr};
+    entries_.push_back(std::move(e));
+}
+
+void
+StatGroup::addDistribution(std::string name, std::string desc,
+                           const Distribution *d)
+{
+    Entry e{std::move(name), std::move(desc), nullptr, {}, nullptr, d};
+    entries_.push_back(std::move(e));
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &e : entries_) {
+        if (e.hist) {
+            e.hist->dump(os, name_ + "." + e.name + " # " + e.desc);
+            continue;
+        }
+        if (e.dist) {
+            e.dist->dump(os, name_ + "." + e.name + " # " + e.desc);
+            continue;
+        }
         os << std::left << std::setw(44) << (name_ + "." + e.name) << " ";
         if (e.raw) {
             os << std::setw(16) << *e.raw;
@@ -82,6 +109,18 @@ Histogram::percentile(double q) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.bucketWidth_ != bucketWidth_ ||
+        other.buckets_.size() != buckets_.size())
+        panic("Histogram::merge: geometry mismatch");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    samples_ += other.samples_;
+    sum_ += other.sum_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -104,6 +143,56 @@ Histogram::dump(std::ostream &os, const std::string &label) const
                << (i + 1) * bucketWidth_ << ")";
         os << " : " << buckets_[i] << "\n";
     }
+}
+
+void
+Distribution::record(double v)
+{
+    if (n_ == 0 || v < min_)
+        min_ = v;
+    if (n_ == 0 || v > max_)
+        max_ = v;
+    ++n_;
+    sum_ += v;
+    sumsq_ += v * v;
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (n_ == 0 || other.max_ > max_)
+        max_ = other.max_;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    sumsq_ += other.sumsq_;
+}
+
+double
+Distribution::mean() const
+{
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const double m = mean();
+    const double var = sumsq_ / static_cast<double>(n_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &label) const
+{
+    os << label << ": n=" << n_ << " min=" << std::fixed
+       << std::setprecision(2) << min() << " max=" << max()
+       << " mean=" << mean() << " stddev=" << stddev() << "\n";
 }
 
 void

@@ -17,6 +17,9 @@
 
 namespace cgct {
 
+class Histogram;
+class Distribution;
+
 /**
  * A group of named statistics belonging to one component. Components
  * register pointers to their counters (or closures computing derived
@@ -37,6 +40,15 @@ class StatGroup
     addDerived(std::string name, std::string desc,
                std::function<double()> fn);
 
+    /** Register a histogram. The pointer must outlive the group. */
+    void
+    addHistogram(std::string name, std::string desc, const Histogram *h);
+
+    /** Register a distribution. The pointer must outlive the group. */
+    void
+    addDistribution(std::string name, std::string desc,
+                    const Distribution *d);
+
     /** Render "group.stat  value  # desc" lines. */
     void dump(std::ostream &os) const;
 
@@ -48,6 +60,8 @@ class StatGroup
         std::string desc;
         const std::uint64_t *raw = nullptr;
         std::function<double()> fn;
+        const Histogram *hist = nullptr;
+        const Distribution *dist = nullptr;
     };
 
     std::string name_;
@@ -82,6 +96,9 @@ class Histogram
     /** Smallest value v such that at least fraction @p q of samples <= v. */
     std::uint64_t percentile(double q) const;
 
+    /** Fold @p other in (bucket-wise). Geometries must match exactly. */
+    void merge(const Histogram &other);
+
     void reset();
     void dump(std::ostream &os, const std::string &label) const;
 
@@ -90,6 +107,38 @@ class Histogram
     std::vector<std::uint64_t> buckets_;
     std::uint64_t samples_ = 0;
     std::uint64_t sum_ = 0;
+};
+
+/**
+ * Running moments of a sample stream: count, min, max, mean, standard
+ * deviation. Cheaper than a Histogram when the value range is unknown
+ * (e.g. region lifetimes in ticks) and exactly mergeable across
+ * instances, which the run harness uses to aggregate per-CPU trackers.
+ */
+class Distribution
+{
+  public:
+    void record(double v);
+
+    /** Fold @p other in; equivalent to recording its samples here. */
+    void merge(const Distribution &other);
+
+    std::uint64_t samples() const { return n_; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double mean() const;
+    /** Population standard deviation (0 for fewer than two samples). */
+    double stddev() const;
+
+    void reset() { *this = Distribution{}; }
+    void dump(std::ostream &os, const std::string &label) const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 /**

@@ -1,0 +1,269 @@
+#include "common/trace_sink.hpp"
+
+#include <ostream>
+
+#include "core/region_protocol.hpp"
+
+namespace cgct {
+
+std::string_view
+traceEventTypeName(TraceEventType t)
+{
+    switch (t) {
+#define X(name)                                                             \
+  case TraceEventType::name:                                                \
+    return #name;
+        CGCT_TRACE_EVENT_TYPES(X)
+#undef X
+    }
+    return "?";
+}
+
+std::string_view
+transitionCauseName(TransitionCause c)
+{
+    switch (c) {
+      case TransitionCause::BroadcastResponse: return "broadcast_response";
+      case TransitionCause::DirectIssue:       return "direct_issue";
+      case TransitionCause::LocalComplete:     return "local_complete";
+      case TransitionCause::ExternalSnoop:     return "external_snoop";
+      case TransitionCause::SelfInvalidate:    return "self_invalidate";
+    }
+    return "?";
+}
+
+std::string_view
+memAccessKindName(MemAccessKind k)
+{
+    switch (k) {
+      case MemAccessKind::Overlapped: return "overlapped";
+      case MemAccessKind::Direct:     return "direct";
+      case MemAccessKind::Writeback:  return "writeback";
+    }
+    return "?";
+}
+
+void
+TraceSink::route(Tick now, CpuId cpu, RequestType req, Addr line_addr,
+                 RouteKind kind, RegionState state)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::route;
+    e.cpu = cpu;
+    e.req = req;
+    e.addr = line_addr;
+    e.route = kind;
+    e.stateBefore = state;
+    push(e);
+}
+
+void
+TraceSink::regionTransition(Tick now, CpuId cpu, Addr region_addr,
+                            RegionState before, RegionState after,
+                            TransitionCause cause, RegionSnoopBits bits,
+                            std::uint32_t line_count)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::region_transition;
+    e.cpu = cpu;
+    e.addr = region_addr;
+    e.stateBefore = before;
+    e.stateAfter = after;
+    e.cause = cause;
+    if (bits.clean)
+        e.flags |= TraceEvent::kFlagRegionClean;
+    if (bits.dirty)
+        e.flags |= TraceEvent::kFlagRegionDirty;
+    e.value = line_count;
+    push(e);
+}
+
+void
+TraceSink::busGrant(Tick now, CpuId cpu, RequestType req, Addr line_addr,
+                    Tick waited)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::bus_grant;
+    e.cpu = cpu;
+    e.req = req;
+    e.addr = line_addr;
+    e.value = waited;
+    push(e);
+}
+
+void
+TraceSink::busResolve(Tick now, CpuId cpu, RequestType req, Addr line_addr,
+                      const SnoopResponse &resp, bool gets_exclusive,
+                      Tick data_ready)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::bus_resolve;
+    e.cpu = cpu;
+    e.req = req;
+    e.addr = line_addr;
+    if (resp.region.clean)
+        e.flags |= TraceEvent::kFlagRegionClean;
+    if (resp.region.dirty)
+        e.flags |= TraceEvent::kFlagRegionDirty;
+    if (gets_exclusive)
+        e.flags |= TraceEvent::kFlagExclusive;
+    if (resp.line.cacheSupplied)
+        e.flags |= TraceEvent::kFlagCacheSupplied;
+    e.value = data_ready;
+    push(e);
+}
+
+void
+TraceSink::memAccess(Tick now, MemCtrlId mc, MemAccessKind kind, Tick ready)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::mem_access;
+    e.cpu = mc;
+    e.memKind = kind;
+    e.value = ready;
+    push(e);
+}
+
+void
+TraceSink::rcaEvict(Tick now, CpuId cpu, Addr region_addr,
+                    RegionState state, std::uint32_t line_count)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::rca_evict;
+    e.cpu = cpu;
+    e.addr = region_addr;
+    e.stateBefore = state;
+    e.value = line_count;
+    push(e);
+}
+
+namespace {
+
+void
+hexAddr(std::ostream &os, Addr addr)
+{
+    char buf[20];
+    std::size_t i = sizeof(buf);
+    if (addr == 0) {
+        buf[--i] = '0';
+    } else {
+        while (addr != 0) {
+            buf[--i] = "0123456789abcdef"[addr & 0xf];
+            addr >>= 4;
+        }
+    }
+    os << "\"0x";
+    os.write(buf + i, static_cast<std::streamsize>(sizeof(buf) - i));
+    os << '"';
+}
+
+void
+snoopBits(std::ostream &os, std::uint8_t flags)
+{
+    os << "\"clean\":"
+       << ((flags & TraceEvent::kFlagRegionClean) ? "true" : "false")
+       << ",\"dirty\":"
+       << ((flags & TraceEvent::kFlagRegionDirty) ? "true" : "false");
+}
+
+/** Per-type JSONL payload after the shared tick/type prefix. */
+void
+writeJsonlFields(std::ostream &os, const TraceEvent &e)
+{
+    switch (e.type) {
+      case TraceEventType::route:
+        os << "\"cpu\":" << e.cpu << ",\"req\":\""
+           << requestTypeName(e.req) << "\",\"addr\":";
+        hexAddr(os, e.addr);
+        os << ",\"route\":\"" << routeKindName(e.route)
+           << "\",\"state\":\"" << regionStateName(e.stateBefore) << '"';
+        break;
+
+      case TraceEventType::region_transition:
+        os << "\"cpu\":" << e.cpu << ",\"region\":";
+        hexAddr(os, e.addr);
+        os << ",\"from\":\"" << regionStateName(e.stateBefore)
+           << "\",\"to\":\"" << regionStateName(e.stateAfter)
+           << "\",\"cause\":\"" << transitionCauseName(e.cause) << "\",";
+        snoopBits(os, e.flags);
+        os << ",\"lines\":" << e.value;
+        break;
+
+      case TraceEventType::bus_grant:
+        os << "\"cpu\":" << e.cpu << ",\"req\":\""
+           << requestTypeName(e.req) << "\",\"addr\":";
+        hexAddr(os, e.addr);
+        os << ",\"waited\":" << e.value;
+        break;
+
+      case TraceEventType::bus_resolve:
+        os << "\"cpu\":" << e.cpu << ",\"req\":\""
+           << requestTypeName(e.req) << "\",\"addr\":";
+        hexAddr(os, e.addr);
+        os << ',';
+        snoopBits(os, e.flags);
+        os << ",\"exclusive\":"
+           << ((e.flags & TraceEvent::kFlagExclusive) ? "true" : "false")
+           << ",\"cache_supplied\":"
+           << ((e.flags & TraceEvent::kFlagCacheSupplied) ? "true"
+                                                          : "false")
+           << ",\"data_ready\":" << e.value;
+        break;
+
+      case TraceEventType::mem_access:
+        os << "\"mc\":" << e.cpu << ",\"kind\":\""
+           << memAccessKindName(e.memKind) << "\",\"ready\":" << e.value;
+        break;
+
+      case TraceEventType::rca_evict:
+        os << "\"cpu\":" << e.cpu << ",\"region\":";
+        hexAddr(os, e.addr);
+        os << ",\"state\":\"" << regionStateName(e.stateBefore)
+           << "\",\"lines\":" << e.value;
+        break;
+    }
+}
+
+} // namespace
+
+void
+TraceSink::writeJsonl(const std::vector<TraceEvent> &events,
+                      std::ostream &os)
+{
+    for (const TraceEvent &e : events) {
+        os << "{\"tick\":" << e.tick << ",\"type\":\""
+           << traceEventTypeName(e.type) << "\",";
+        writeJsonlFields(os, e);
+        os << "}\n";
+    }
+}
+
+void
+TraceSink::writeChromeTrace(const std::vector<TraceEvent> &events,
+                            std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        // Instant events; pid 0 = processors, pid 1 = memory controllers.
+        const bool is_mem = e.type == TraceEventType::mem_access;
+        os << "{\"name\":\"" << traceEventTypeName(e.type)
+           << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.tick
+           << ",\"pid\":" << (is_mem ? 1 : 0)
+           << ",\"tid\":" << e.cpu << ",\"args\":{";
+        writeJsonlFields(os, e);
+        os << "}}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace cgct

@@ -1,6 +1,7 @@
 #include "core/cgct_controller.hpp"
 
 #include "common/log.hpp"
+#include "common/trace_sink.hpp"
 
 namespace cgct {
 
@@ -16,6 +17,25 @@ CgctController::CgctController(CpuId cpu, const CgctParams &params,
               line_bytes);
 }
 
+void
+CgctController::setTraceSink(TraceSink *sink)
+{
+    trace_ = sink;
+    rca_.setTraceSink(sink, cpu_);
+}
+
+void
+CgctController::traceTransition(Tick now, Addr region_addr,
+                                RegionState before, RegionState after,
+                                TransitionCause cause, RegionSnoopBits bits,
+                                std::uint32_t line_count)
+{
+    if (before == after)
+        return;
+    CGCT_TRACE(trace_, regionTransition(now, cpu_, region_addr, before,
+                                        after, cause, bits, line_count));
+}
+
 RouteDecision
 CgctController::route(RequestType type, Addr line_addr, Tick now)
 {
@@ -23,6 +43,7 @@ CgctController::route(RequestType type, Addr line_addr, Tick now)
     RegionEntry *entry = rca_.find(line_addr);
     const RegionState state = entry ? entry->state : RegionState::Invalid;
     d.kind = routeFor(type, state);
+    d.state = state;
     if (entry) {
         d.memCtrl = entry->memCtrl;
         rca_.touch(*entry, now);
@@ -58,10 +79,14 @@ CgctController::onBroadcastResponse(RequestType type, Addr line_addr,
     RegionSnoopBits bits = resp.region;
     if (params_.threeStateProtocol)
         bits = threeStateBits(bits);
+    const RegionState before = entry->state;
     entry->state = squash(afterBroadcast(entry->state, type,
                                          line_granted_exclusive, bits));
     entry->memCtrl = resp.memCtrl;
     rca_.touch(*entry, now);
+    traceTransition(now, entry->regionAddr, before, entry->state,
+                    TransitionCause::BroadcastResponse, bits,
+                    entry->lineCount);
 }
 
 void
@@ -74,9 +99,13 @@ CgctController::onDirectIssue(RequestType type, Addr line_addr,
         // flush path routes them explicitly, so this is a protocol bug.
         panic("CGCT cpu%d: direct issue without a region entry", cpu_);
     }
+    const RegionState before = entry->state;
     entry->state = squash(afterSilentLocal(entry->state, type,
                                            line_granted_exclusive));
     rca_.touch(*entry, now);
+    traceTransition(now, entry->regionAddr, before, entry->state,
+                    TransitionCause::DirectIssue, RegionSnoopBits{},
+                    entry->lineCount);
 }
 
 void
@@ -85,9 +114,13 @@ CgctController::onLocalComplete(RequestType type, Addr line_addr, Tick now)
     RegionEntry *entry = rca_.find(line_addr);
     if (!entry)
         panic("CGCT cpu%d: local completion without a region entry", cpu_);
+    const RegionState before = entry->state;
     entry->state = squash(afterSilentLocal(entry->state, type,
                                            /*granted_exclusive=*/true));
     rca_.touch(*entry, now);
+    traceTransition(now, entry->regionAddr, before, entry->state,
+                    TransitionCause::LocalComplete, RegionSnoopBits{},
+                    entry->lineCount);
 }
 
 void
@@ -114,7 +147,8 @@ CgctController::onLineEvict(Addr line_addr)
 }
 
 RegionSnoopBits
-CgctController::externalSnoop(Addr line_addr, bool external_gets_exclusive)
+CgctController::externalSnoop(Addr line_addr, bool external_gets_exclusive,
+                              Tick now)
 {
     RegionEntry *entry = rca_.find(line_addr);
     if (!entry)
@@ -124,6 +158,10 @@ CgctController::externalSnoop(Addr line_addr, bool external_gets_exclusive)
         // No lines cached: invalidate the region so the requester can take
         // it exclusively (Section 3.1's self-invalidation).
         ++rca_.stats().selfInvalidations;
+        traceTransition(now, entry->regionAddr, entry->state,
+                        RegionState::Invalid,
+                        TransitionCause::SelfInvalidate, RegionSnoopBits{},
+                        /*line_count=*/0);
         rca_.invalidate(line_addr);
         return RegionSnoopBits{};
     }
@@ -131,8 +169,12 @@ CgctController::externalSnoop(Addr line_addr, bool external_gets_exclusive)
     RegionSnoopBits bits = regionResponseBits(entry->state);
     if (params_.threeStateProtocol)
         bits = threeStateBits(bits);
+    const RegionState before = entry->state;
     entry->state = squash(afterExternalSnoop(entry->state,
                                              external_gets_exclusive));
+    traceTransition(now, entry->regionAddr, before, entry->state,
+                    TransitionCause::ExternalSnoop, bits,
+                    entry->lineCount);
     return bits;
 }
 

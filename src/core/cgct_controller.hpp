@@ -25,11 +25,16 @@
 
 namespace cgct {
 
+class TraceSink;
+enum class TransitionCause : std::uint8_t;
+
 /** Routing decision handed to the node. */
 struct RouteDecision {
     RouteKind kind = RouteKind::Broadcast;
     /** Target controller for Direct routes (from the region entry). */
     MemCtrlId memCtrl = kInvalidMemCtrl;
+    /** Region state that justified the decision (tracing/diagnostics). */
+    RegionState state = RegionState::Invalid;
 };
 
 /**
@@ -82,12 +87,16 @@ class RegionTracker
      * downgrade. Self-invalidation happens here when the line count is 0.
      */
     virtual RegionSnoopBits externalSnoop(Addr line_addr,
-                                          bool external_gets_exclusive) = 0;
+                                          bool external_gets_exclusive,
+                                          Tick now) = 0;
 
     /** Current state for an address (tests / oracle), Invalid if absent. */
     virtual RegionState peekState(Addr line_addr) const = 0;
 
     virtual void addStats(StatGroup &group) const = 0;
+
+    /** Emit region-protocol trace events to @p sink (default: none). */
+    virtual void setTraceSink(TraceSink *sink) { (void)sink; }
 };
 
 /** The paper's CGCT mechanism: region protocol over an RCA. */
@@ -115,9 +124,11 @@ class CgctController : public RegionTracker
     void onLineFill(Addr line_addr) override;
     void onLineEvict(Addr line_addr) override;
     RegionSnoopBits externalSnoop(Addr line_addr,
-                                  bool external_gets_exclusive) override;
+                                  bool external_gets_exclusive,
+                                  Tick now) override;
     RegionState peekState(Addr line_addr) const override;
     void addStats(StatGroup &group) const override;
+    void setTraceSink(TraceSink *sink) override;
 
     RegionCoherenceArray &rca() { return rca_; }
     const RegionCoherenceArray &rca() const { return rca_; }
@@ -125,6 +136,11 @@ class CgctController : public RegionTracker
     const CgctParams &params() const { return params_; }
 
   private:
+    /** Emit a region_transition event if the state actually changed. */
+    void traceTransition(Tick now, Addr region_addr, RegionState before,
+                         RegionState after, TransitionCause cause,
+                         RegionSnoopBits bits, std::uint32_t line_count);
+
     /** Apply the three-state collapse when configured (Section 3.4). */
     RegionState squash(RegionState s) const
     {
@@ -135,6 +151,7 @@ class CgctController : public RegionTracker
     CgctParams params_;
     RegionCoherenceArray rca_;
     std::vector<FlushFn> flush_;
+    TraceSink *trace_ = nullptr;
 };
 
 /**

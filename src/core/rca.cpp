@@ -1,6 +1,7 @@
 #include "core/rca.hpp"
 
 #include "common/log.hpp"
+#include "common/trace_sink.hpp"
 
 namespace cgct {
 
@@ -46,6 +47,19 @@ RegionCoherenceArray::find(Addr addr) const
     return const_cast<RegionCoherenceArray *>(this)->find(addr);
 }
 
+const RegionEntry *
+RegionCoherenceArray::peekEntry(Addr addr) const
+{
+    const Addr region = regionAlign(addr);
+    const RegionEntry *base =
+        &entries_[setIndex(addr) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid() && base[w].regionAddr == region)
+            return &base[w];
+    }
+    return nullptr;
+}
+
 RegionEntry *
 RegionCoherenceArray::allocate(Addr addr, Tick now, RegionEviction &evicted)
 {
@@ -88,11 +102,16 @@ RegionCoherenceArray::allocate(Addr addr, Tick now, RegionEviction &evicted)
           case 2:  ++stats_.evictedTwoLines; break;
           default: ++stats_.evictedMoreLines; break;
         }
+        evictedLines_.record(victim->lineCount);
+        lifetime_.record(static_cast<double>(now - victim->allocTick));
+        CGCT_TRACE(trace_, rcaEvict(now, traceCpu_, victim->regionAddr,
+                                    victim->state, victim->lineCount));
     }
 
     *victim = RegionEntry{};
     victim->regionAddr = region;
     victim->lastUse = now;
+    victim->allocTick = now;
     ++stats_.allocations;
     return victim;
 }
@@ -153,6 +172,12 @@ RegionCoherenceArray::addStats(StatGroup &group) const
     group.addScalar("rca.self_invalidations",
                     "regions invalidated by the zero-line-count mechanism",
                     &stats_.selfInvalidations);
+    group.addHistogram("rca.lines_at_eviction",
+                       "lines cached per region at eviction",
+                       &evictedLines_);
+    group.addDistribution("rca.region_lifetime",
+                          "allocation-to-eviction region lifetime (cycles)",
+                          &lifetime_);
 }
 
 } // namespace cgct

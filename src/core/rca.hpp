@@ -24,6 +24,8 @@
 
 namespace cgct {
 
+class TraceSink;
+
 /** One RCA entry. */
 struct RegionEntry {
     Addr regionAddr = 0;                    ///< Region-aligned address.
@@ -31,6 +33,7 @@ struct RegionEntry {
     std::uint32_t lineCount = 0;            ///< Lines cached locally.
     MemCtrlId memCtrl = kInvalidMemCtrl;    ///< Owning memory controller.
     Tick lastUse = 0;
+    Tick allocTick = 0;                     ///< When the entry was filled.
 
     bool valid() const { return state != RegionState::Invalid; }
 };
@@ -72,6 +75,14 @@ class RegionCoherenceArray
     const RegionEntry *find(Addr addr) const;
 
     /**
+     * Side-effect-free lookup: like find() but touches neither the
+     * hit/miss counters nor LRU. For the invariant checker and tests,
+     * which must be able to observe the array without perturbing the
+     * statistics the experiments record.
+     */
+    const RegionEntry *peekEntry(Addr addr) const;
+
+    /**
      * Allocate an entry for @p addr's region, evicting per the policy if
      * the set is full. The new entry is Invalid-initialized except for its
      * regionAddr; the caller sets state/memCtrl.
@@ -107,6 +118,19 @@ class RegionCoherenceArray
     const Stats &stats() const { return stats_; }
     void addStats(StatGroup &group) const;
 
+    /** Lines-cached-at-eviction histogram (Section 3.2's Figure 9 data). */
+    const Histogram &evictedLinesHistogram() const { return evictedLines_; }
+    /** Allocation-to-eviction lifetime of displaced regions, in ticks. */
+    const Distribution &regionLifetime() const { return lifetime_; }
+
+    /** Emit rca_evict trace events to @p sink on behalf of @p cpu. */
+    void
+    setTraceSink(TraceSink *sink, CpuId cpu)
+    {
+        trace_ = sink;
+        traceCpu_ = cpu;
+    }
+
     /** Visit every valid entry (non-owning visitor; see FunctionRef). */
     void
     forEachValidEntry(FunctionRef<void(const RegionEntry &)> fn) const
@@ -135,6 +159,11 @@ class RegionCoherenceArray
     bool favorEmpty_;
     std::vector<RegionEntry> entries_;
     Stats stats_;
+    /** Lines cached at eviction: one bucket per count, 0..7, overflow. */
+    Histogram evictedLines_{1, 8};
+    Distribution lifetime_;
+    TraceSink *trace_ = nullptr;
+    CpuId traceCpu_ = kInvalidCpu;
 };
 
 } // namespace cgct

@@ -17,6 +17,17 @@ regionStateName(RegionState s)
     return "?";
 }
 
+std::string_view
+routeKindName(RouteKind kind)
+{
+    switch (kind) {
+      case RouteKind::Broadcast:     return "broadcast";
+      case RouteKind::Direct:        return "direct";
+      case RouteKind::LocalComplete: return "local";
+    }
+    return "?";
+}
+
 RouteKind
 routeFor(RequestType type, RegionState state)
 {

@@ -78,6 +78,9 @@ enum class RouteKind : std::uint8_t {
     LocalComplete,
 };
 
+/** Short name ("broadcast", "direct", "local") for stats and traces. */
+std::string_view routeKindName(RouteKind kind);
+
 /**
  * Routing decision of the region protocol (Table 1's "Broadcast Needed?"
  * column elaborated per request type):

@@ -80,6 +80,9 @@ RegionScout::route(RequestType type, Addr line_addr, Tick now)
         return d; // Broadcast: nothing is known about the region.
     e->lastUse = now;
     ++stats_.nsrtHits;
+    // An NSRT hit proves "no other processor caches the region"; report
+    // the equivalent exclusive region state (matches peekState()).
+    d.state = RegionState::DirtyInvalid;
 
     switch (type) {
       case RequestType::Writeback:
@@ -145,7 +148,8 @@ RegionScout::onLineEvict(Addr line_addr)
 }
 
 RegionSnoopBits
-RegionScout::externalSnoop(Addr line_addr, bool /*external_gets_excl*/)
+RegionScout::externalSnoop(Addr line_addr, bool /*external_gets_excl*/,
+                           Tick /*now*/)
 {
     const Addr region = regionAlign(line_addr);
     // Any external activity in the region disproves "not shared".

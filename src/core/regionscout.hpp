@@ -63,7 +63,8 @@ class RegionScout : public RegionTracker
     void onLineFill(Addr line_addr) override;
     void onLineEvict(Addr line_addr) override;
     RegionSnoopBits externalSnoop(Addr line_addr,
-                                  bool external_gets_exclusive) override;
+                                  bool external_gets_exclusive,
+                                  Tick now) override;
     RegionState peekState(Addr line_addr) const override;
     void addStats(StatGroup &group) const override;
 

@@ -1,6 +1,7 @@
 #include "interconnect/bus.hpp"
 
 #include "common/log.hpp"
+#include "common/trace_sink.hpp"
 
 namespace cgct {
 
@@ -48,6 +49,8 @@ Bus::grant()
     stats_.queueCycles += now - p.enqueued;
     ++stats_.broadcasts;
     traffic_.note(now);
+    CGCT_TRACE(trace_, busGrant(now, p.req.cpu, p.req.type, p.req.lineAddr,
+                                now - p.enqueued));
     nextFreeSlot_ = now + params_.busSlot;
 
     // The snoop resolves a fixed latency after the broadcast slot.
@@ -125,7 +128,15 @@ Bus::resolve(const SystemRequest &req, ResponseFn fn)
         }
     }
 
+    CGCT_TRACE(trace_, busResolve(now, req.cpu, req.type, req.lineAddr,
+                                  resp, gets_exclusive, data_ready));
+
     fn(resp, data_ready);
+
+    // Response delivered and requester-side state settled: let the
+    // invariant checker cross-validate region state vs cache contents.
+    if (postResolve_)
+        postResolve_(req);
 }
 
 void

@@ -27,6 +27,8 @@
 
 namespace cgct {
 
+class TraceSink;
+
 /**
  * Interface every processor node exposes to the bus. Snoops are applied in
  * two phases at the resolution tick: first the conventional line snoop
@@ -89,6 +91,17 @@ class Bus
     void setObserver(Observer obs) { observer_ = std::move(obs); }
 
     /**
+     * Hook invoked after a resolution fully completes (response delivered,
+     * requester state updated). The invariant checker uses it to validate
+     * region state against cache contents at the ordering point.
+     */
+    using PostResolveFn = std::function<void(const SystemRequest &)>;
+    void setPostResolveHook(PostResolveFn fn) { postResolve_ = std::move(fn); }
+
+    /** Emit bus_grant / bus_resolve trace events to @p sink. */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
+    /**
      * Broadcast @p req, invoking @p fn at resolution. Must be called at
      * the issuing event's time (requests are granted FCFS).
      */
@@ -133,6 +146,8 @@ class Bus
     std::vector<MemoryController *> memCtrls_;
     std::vector<SnoopClient *> clients_;
     Observer observer_;
+    PostResolveFn postResolve_;
+    TraceSink *trace_ = nullptr;
 
     std::deque<Pending> queue_;
     bool grantScheduled_ = false;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/trace_sink.hpp"
+
 namespace cgct {
 
 MemoryController::MemoryController(MemCtrlId id, EventQueue &eq,
@@ -26,7 +28,10 @@ MemoryController::accessOverlapped(Tick snoop_done)
     // The row access was started when the request was broadcast; by the
     // time the snoop resolves only the tail of the DRAM access remains.
     const Tick start = claimSlot(snoop_done);
-    return start + params_.dramOverlappedExtra;
+    const Tick ready = start + params_.dramOverlappedExtra;
+    CGCT_TRACE(trace_, memAccess(snoop_done, id_, MemAccessKind::Overlapped,
+                                 ready));
+    return ready;
 }
 
 Tick
@@ -34,14 +39,19 @@ MemoryController::accessDirect(Tick arrival)
 {
     ++stats_.directReads;
     const Tick start = claimSlot(arrival);
-    return start + params_.dramLatency;
+    const Tick ready = start + params_.dramLatency;
+    CGCT_TRACE(trace_, memAccess(arrival, id_, MemAccessKind::Direct,
+                                 ready));
+    return ready;
 }
 
 void
 MemoryController::acceptWriteback(Tick arrival)
 {
     ++stats_.writebacks;
-    claimSlot(arrival);
+    const Tick start = claimSlot(arrival);
+    CGCT_TRACE(trace_, memAccess(arrival, id_, MemAccessKind::Writeback,
+                                 start));
 }
 
 void

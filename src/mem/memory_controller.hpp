@@ -26,6 +26,8 @@
 
 namespace cgct {
 
+class TraceSink;
+
 /** One per-chip memory controller. */
 class MemoryController
 {
@@ -70,6 +72,9 @@ class MemoryController
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats{}; }
 
+    /** Emit mem_access trace events to @p sink. */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
   private:
     /** Claim the next initiation slot at or after @p at. */
     Tick claimSlot(Tick at);
@@ -79,6 +84,7 @@ class MemoryController
     InterconnectParams params_;
     Tick nextFreeSlot_ = 0;
     Stats stats_;
+    TraceSink *trace_ = nullptr;
 };
 
 } // namespace cgct

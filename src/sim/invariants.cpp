@@ -1,0 +1,172 @@
+#include "sim/invariants.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "core/cgct_controller.hpp"
+#include "sim/node.hpp"
+
+namespace cgct {
+
+namespace {
+
+std::string
+hexAddr(Addr a)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+} // namespace
+
+InvariantChecker::InvariantChecker(const SystemConfig &config,
+                                   std::vector<const Node *> nodes)
+    : config_(config), nodes_(std::move(nodes))
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const auto *ctrl =
+            dynamic_cast<const CgctController *>(nodes_[i]->tracker());
+        if (!ctrl)
+            continue; // Baseline / RegionScout: nothing to cross-check.
+        Group *group = nullptr;
+        for (Group &g : groups_) {
+            if (g.ctrl == ctrl) {
+                group = &g;
+                break;
+            }
+        }
+        if (!group) {
+            groups_.push_back(Group{ctrl, {}});
+            group = &groups_.back();
+        }
+        group->nodeIdx.push_back(i);
+    }
+}
+
+std::string
+InvariantChecker::checkRegion(Addr addr) const
+{
+    if (groups_.empty())
+        return {};
+
+    const std::uint64_t rbytes = config_.cgct.regionBytes;
+    const Addr region = alignDown(addr, rbytes);
+
+    // Ground truth: what each node's L2 actually holds in the region.
+    // Shared is the only line state that cannot produce dirty data; E can
+    // silently become M, so it counts as modifiable.
+    struct View {
+        std::uint32_t lines = 0;
+        bool modifiable = false;
+    };
+    std::vector<View> views(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i]->l2().array().forEachLineInRegion(
+            region, rbytes, [&views, i](const CacheLine &line) {
+                ++views[i].lines;
+                if (line.state != LineState::Shared)
+                    views[i].modifiable = true;
+            });
+    }
+
+    for (const Group &g : groups_) {
+        std::uint32_t own_lines = 0;
+        bool own_modifiable = false;
+        for (std::size_t i : g.nodeIdx) {
+            own_lines += views[i].lines;
+            own_modifiable = own_modifiable || views[i].modifiable;
+        }
+        std::uint32_t ext_lines = 0;
+        bool ext_modifiable = false;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            bool own = false;
+            for (std::size_t j : g.nodeIdx)
+                own = own || j == i;
+            if (own)
+                continue;
+            ext_lines += views[i].lines;
+            ext_modifiable = ext_modifiable || views[i].modifiable;
+        }
+
+        const RegionEntry *entry = g.ctrl->rca().peekEntry(region);
+        const RegionState state =
+            entry ? entry->state : RegionState::Invalid;
+        const std::string who =
+            "cpu" + std::to_string(g.nodeIdx.front()) + " region " +
+            hexAddr(region) + " (" + std::string(regionStateName(state)) +
+            ")";
+
+        // E: RCA inclusion — a cached line needs a region entry.
+        if (own_lines > 0 && !entry) {
+            return who + ": " + std::to_string(own_lines) +
+                   " lines cached with no RCA entry";
+        }
+        // D: the entry's line count is exact.
+        if (entry && entry->lineCount != own_lines) {
+            return who + ": entry line count " +
+                   std::to_string(entry->lineCount) + " but L2 holds " +
+                   std::to_string(own_lines);
+        }
+        // A: exclusive states assert no external copies at all.
+        if (isRegionExclusive(state) && ext_lines > 0) {
+            return who + ": exclusive but " + std::to_string(ext_lines) +
+                   " lines cached externally";
+        }
+        // B: externally-clean states assert external copies are
+        // unmodified (and not silently modifiable).
+        if (isExternallyClean(state) && ext_modifiable) {
+            return who + ": externally clean but an external node holds "
+                         "an E/M/O line";
+        }
+        // C: locally-clean states assert this chip's copies are
+        // unmodified (and not silently modifiable).
+        if (state != RegionState::Invalid && !isLocallyDirty(state) &&
+            own_modifiable) {
+            return who + ": locally clean but holds an E/M/O line";
+        }
+    }
+    return {};
+}
+
+std::string
+InvariantChecker::checkAll() const
+{
+    if (groups_.empty())
+        return {};
+
+    const std::uint64_t rbytes = config_.cgct.regionBytes;
+    std::unordered_set<Addr> regions;
+    for (const Group &g : groups_) {
+        g.ctrl->rca().forEachValidEntry(
+            [&regions](const RegionEntry &entry) {
+                regions.insert(entry.regionAddr);
+            });
+    }
+    for (const Node *node : nodes_) {
+        node->l2().array().forEachValidLine(
+            [&regions, rbytes](const CacheLine &line) {
+                regions.insert(alignDown(line.lineAddr, rbytes));
+            });
+    }
+
+    for (Addr region : regions) {
+        std::string err = checkRegion(region);
+        if (!err.empty())
+            return err;
+    }
+    return {};
+}
+
+void
+InvariantChecker::onTransition(Addr addr, const char *site)
+{
+    ++checksRun_;
+    const std::string err = checkRegion(addr);
+    if (!err.empty())
+        fatal("region invariant violated after %s: %s", site, err.c_str());
+}
+
+} // namespace cgct

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cross-layer invariant checker: validates the seven-state region
+ * protocol against ground-truth cache contents at every transition.
+ *
+ * The region states are *summaries* of line state — "DI" asserts that no
+ * other processor caches any line of the region — so a divergence between
+ * an RCA entry and what the L2 arrays actually hold is a protocol bug
+ * even if the simulation happens to produce plausible numbers. The
+ * checker makes that class of bug a hard failure instead of a silently
+ * wrong result.
+ *
+ * Invariants checked per region, per tracker (chip when sharedPerChip):
+ *  A. exclusive (CI/DI): no node outside the tracker's chip caches any
+ *     line of the region;
+ *  B. externally clean (CC/DC): outside nodes hold no E/M/O lines
+ *     (Exclusive counts — it can silently become Modified);
+ *  C. locally clean (CI/CC/CD): the tracker's own nodes hold no E/M/O
+ *     lines;
+ *  D. the entry's line count equals the lines actually cached by the
+ *     tracker's nodes;
+ *  E. a cached line implies a valid RCA entry for its region (inclusion).
+ *
+ * Activation: `cgct_sim --check-invariants`, or automatically in debug
+ * (NDEBUG-undefined) builds when CGCT is enabled. All lookups use the
+ * side-effect-free peek paths, so enabling the checker never perturbs
+ * the statistics an experiment records.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace cgct {
+
+class CgctController;
+class Node;
+
+/** Region-protocol-vs-cache-contents cross validator. */
+class InvariantChecker
+{
+  public:
+    /**
+     * @param config the system configuration (region geometry)
+     * @param nodes  every processor node, in CPU order
+     */
+    InvariantChecker(const SystemConfig &config,
+                     std::vector<const Node *> nodes);
+
+    /**
+     * Check every invariant for the region containing @p addr.
+     * @return a description of the first violation, or empty.
+     */
+    std::string checkRegion(Addr addr) const;
+
+    /**
+     * Check every region present in any RCA or any L2.
+     * @return a description of the first violation, or empty.
+     */
+    std::string checkAll() const;
+
+    /**
+     * Transition hook: re-validate the region touched by a protocol
+     * transition and fatal() with @p site on a violation. Wired to the
+     * bus post-resolve hook and the node's direct/local/flush paths.
+     */
+    void onTransition(Addr addr, const char *site);
+
+    /** Number of per-transition checks executed (tests, reporting). */
+    std::uint64_t checksRun() const { return checksRun_; }
+
+  private:
+    /** Nodes sharing one CGCT controller (one entry per chip when the
+     *  RCA is shared; one per CPU otherwise). */
+    struct Group {
+        const CgctController *ctrl = nullptr;
+        std::vector<std::size_t> nodeIdx;
+    };
+
+    const SystemConfig &config_;
+    std::vector<const Node *> nodes_;
+    std::vector<Group> groups_;
+    std::uint64_t checksRun_ = 0;
+};
+
+} // namespace cgct

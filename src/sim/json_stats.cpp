@@ -6,74 +6,169 @@ namespace cgct {
 
 namespace {
 
-void
-field(std::ostringstream &os, const std::string &indent, const char *name,
-      double v, bool last = false)
+/**
+ * Tiny helper for the nested schema: tracks the current indent and
+ * whether the previous entry needs a trailing comma. toJson() groups
+ * related fields into per-component objects ("requests", "oracle", ...)
+ * so consumers address stats by component rather than by a flat prefix.
+ */
+class Writer
 {
-    os << indent << "  \"" << name << "\": " << v << (last ? "\n" : ",\n");
-}
+  public:
+    Writer(std::ostringstream &os, std::string indent)
+        : os_(os), indent_(std::move(indent))
+    {
+    }
 
-void
-field(std::ostringstream &os, const std::string &indent, const char *name,
-      std::uint64_t v, bool last = false)
-{
-    os << indent << "  \"" << name << "\": " << v << (last ? "\n" : ",\n");
-}
+    void
+    open(const char *name = nullptr)
+    {
+        sep();
+        os_ << indent_;
+        if (name)
+            os_ << '"' << name << "\": ";
+        os_ << "{";
+        indent_ += "  ";
+        fresh_ = true;
+    }
 
-void
-catArray(std::ostringstream &os, const std::string &indent,
-         const char *name, const std::uint64_t (&a)[RunResult::kNumCat])
-{
-    os << indent << "  \"" << name << "\": [";
-    for (std::size_t i = 0; i < RunResult::kNumCat; ++i)
-        os << a[i] << (i + 1 < RunResult::kNumCat ? ", " : "");
-    os << "],\n";
-}
+    void
+    close()
+    {
+        indent_.resize(indent_.size() - 2);
+        os_ << "\n" << indent_ << "}";
+        fresh_ = false;
+    }
+
+    void
+    field(const char *name, double v)
+    {
+        sep();
+        os_ << indent_ << '"' << name << "\": " << v;
+    }
+
+    void
+    field(const char *name, std::uint64_t v)
+    {
+        sep();
+        os_ << indent_ << '"' << name << "\": " << v;
+    }
+
+    void
+    field(const char *name, const std::string &v)
+    {
+        sep();
+        os_ << indent_ << '"' << name << "\": \"" << v << '"';
+    }
+
+    template <typename Seq>
+    void
+    array(const char *name, const Seq &a, std::size_t n)
+    {
+        sep();
+        os_ << indent_ << '"' << name << "\": [";
+        for (std::size_t i = 0; i < n; ++i)
+            os_ << a[i] << (i + 1 < n ? ", " : "");
+        os_ << "]";
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (!fresh_)
+            os_ << ",";
+        os_ << "\n";
+        fresh_ = false;
+    }
+
+    std::ostringstream &os_;
+    std::string indent_;
+    bool fresh_ = true;
+};
 
 } // namespace
 
 std::string
 toJson(const RunResult &r, const std::string &indent)
 {
+    constexpr std::size_t kCat = RunResult::kNumCat;
     std::ostringstream os;
-    os << indent << "{\n";
-    os << indent << "  \"workload\": \"" << r.workload << "\",\n";
-    field(os, indent, "region_bytes", r.regionBytes);
-    field(os, indent, "seed", r.seed);
-    field(os, indent, "cycles", static_cast<std::uint64_t>(r.cycles));
-    field(os, indent, "instructions", r.instructions);
-    field(os, indent, "requests_total", r.requestsTotal);
-    field(os, indent, "broadcasts", r.broadcasts);
-    field(os, indent, "directs", r.directs);
-    field(os, indent, "locals", r.locals);
-    field(os, indent, "writebacks", r.writebacks);
-    catArray(os, indent, "broadcasts_by_category", r.broadcastsByCat);
-    catArray(os, indent, "directs_by_category", r.directsByCat);
-    catArray(os, indent, "locals_by_category", r.localsByCat);
-    field(os, indent, "oracle_total", r.oracleTotal);
-    field(os, indent, "oracle_unnecessary", r.oracleUnnecessary);
-    catArray(os, indent, "oracle_total_by_category", r.oracleTotalByCat);
-    catArray(os, indent, "oracle_unnecessary_by_category",
-             r.oracleUnnecessaryByCat);
-    field(os, indent, "avg_broadcasts_per_100k", r.avgBroadcastsPer100k);
-    field(os, indent, "peak_broadcasts_per_100k",
-          r.peakBroadcastsPer100k);
-    field(os, indent, "l2_miss_ratio", r.l2MissRatio);
-    field(os, indent, "avg_miss_latency", r.avgMissLatency);
-    field(os, indent, "cache_to_cache", r.cacheToCache);
-    field(os, indent, "memory_supplied", r.memorySupplied);
-    field(os, indent, "rca_evicted_empty", r.rcaEvictedEmpty);
-    field(os, indent, "rca_evicted_one", r.rcaEvictedOne);
-    field(os, indent, "rca_evicted_two", r.rcaEvictedTwo);
-    field(os, indent, "rca_evicted_more", r.rcaEvictedMore);
-    field(os, indent, "rca_self_invalidations", r.rcaSelfInvalidations);
-    field(os, indent, "inclusion_writebacks", r.inclusionWritebacks);
-    field(os, indent, "avg_lines_per_evicted_region",
-          r.avgLinesPerEvictedRegion);
-    field(os, indent, "avoided_fraction", r.avoidedFraction());
-    field(os, indent, "oracle_unnecessary_fraction",
-          r.oracleUnnecessaryFraction(), /*last=*/true);
-    os << indent << "}";
+    os << indent << "{";
+    Writer w(os, indent + "  ");
+
+    w.field("workload", r.workload);
+    w.field("region_bytes", r.regionBytes);
+    w.field("seed", r.seed);
+    w.field("cycles", static_cast<std::uint64_t>(r.cycles));
+    w.field("instructions", r.instructions);
+
+    w.open("requests");
+    w.field("total", r.requestsTotal);
+    w.field("broadcasts", r.broadcasts);
+    w.field("directs", r.directs);
+    w.field("locals", r.locals);
+    w.field("writebacks", r.writebacks);
+    w.array("broadcasts_by_category", r.broadcastsByCat, kCat);
+    w.array("directs_by_category", r.directsByCat, kCat);
+    w.array("locals_by_category", r.localsByCat, kCat);
+    w.field("avoided_fraction", r.avoidedFraction());
+    w.close();
+
+    w.open("oracle");
+    w.field("total", r.oracleTotal);
+    w.field("unnecessary", r.oracleUnnecessary);
+    w.array("total_by_category", r.oracleTotalByCat, kCat);
+    w.array("unnecessary_by_category", r.oracleUnnecessaryByCat, kCat);
+    w.field("unnecessary_fraction", r.oracleUnnecessaryFraction());
+    w.close();
+
+    w.open("traffic");
+    w.field("avg_broadcasts_per_100k", r.avgBroadcastsPer100k);
+    w.field("peak_broadcasts_per_100k", r.peakBroadcastsPer100k);
+    w.field("cache_to_cache", r.cacheToCache);
+    w.field("memory_supplied", r.memorySupplied);
+    w.close();
+
+    w.open("memory");
+    w.field("l2_miss_ratio", r.l2MissRatio);
+    w.field("avg_miss_latency", r.avgMissLatency);
+    w.close();
+
+    w.open("rca");
+    w.field("evicted_empty", r.rcaEvictedEmpty);
+    w.field("evicted_one", r.rcaEvictedOne);
+    w.field("evicted_two", r.rcaEvictedTwo);
+    w.field("evicted_more", r.rcaEvictedMore);
+    w.field("self_invalidations", r.rcaSelfInvalidations);
+    w.field("inclusion_writebacks", r.inclusionWritebacks);
+    w.field("avg_lines_per_evicted_region", r.avgLinesPerEvictedRegion);
+    w.close();
+
+    w.open("histograms");
+    for (const HistogramSnapshot &h : r.histograms) {
+        w.open(h.name.c_str());
+        w.field("bucket_width", h.bucketWidth);
+        w.field("samples", h.samples);
+        w.field("sum", h.sum);
+        w.array("buckets", h.buckets, h.buckets.size());
+        w.close();
+    }
+    w.close();
+
+    w.open("distributions");
+    for (const DistributionSnapshot &d : r.distributions) {
+        w.open(d.name.c_str());
+        w.field("samples", d.samples);
+        w.field("min", d.min);
+        w.field("max", d.max);
+        w.field("mean", d.mean);
+        w.field("stddev", d.stddev);
+        w.close();
+    }
+    w.close();
+
+    os << "\n" << indent << "}";
     return os.str();
 }
 

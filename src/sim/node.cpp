@@ -3,8 +3,17 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "sim/invariants.hpp"
 
 namespace cgct {
+
+void
+Node::setTraceSink(TraceSink *sink)
+{
+    trace_ = sink;
+    if (tracker_)
+        tracker_->setTraceSink(sink);
+}
 
 Node::Node(CpuId cpu, const SystemConfig &config, EventQueue &eq, Bus &bus,
            DataNetwork &data_net, const AddressMap &map,
@@ -229,6 +238,8 @@ Node::dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
     RouteDecision route;
     if (tracker_)
         route = tracker_->route(type, line_addr, now);
+    traceRouteDecision(trace_, now, cpu_, type, line_addr, route.kind,
+                       route.state);
 
     if (tracker_ && !drainingRegion_ && type != RequestType::Writeback &&
         route.kind == RouteKind::Broadcast &&
@@ -325,6 +336,8 @@ Node::issueDirect(RequestType type, Addr line_addr, MemCtrlId mc, Tick now,
                                              config_.l2.lineBytes);
 
     installL2Line(line_addr, granted, now, data_ready);
+    if (checker_)
+        checker_->onTransition(line_addr, "direct_issue");
 
     // Backdated dispatches (speculative fetches resolved by a region
     // acquisition) may complete logically in the past; deliver them now.
@@ -411,6 +424,9 @@ Node::completeLocally(RequestType type, Addr line_addr, Tick now,
         panic("cpu%d: request type %d cannot complete locally", cpu_,
               static_cast<int>(type));
     }
+
+    if (checker_)
+        checker_->onTransition(line_addr, "local_complete");
 
     releaseMshr(line_addr);
     if (done) {
@@ -642,6 +658,8 @@ Node::flushRegion(Addr region_addr, std::uint64_t region_bytes,
             memCtrls_[static_cast<unsigned>(mc)]->acceptWriteback(arrival);
         }
     }
+    if (checker_)
+        checker_->onTransition(region_addr, "region_flush");
 }
 
 void
@@ -745,7 +763,8 @@ Node::snoopRegion(const SystemRequest &req, bool requester_gets_exclusive)
             config_.topology.chipOfCpu(cpu_)) {
         return RegionSnoopBits{};
     }
-    return tracker_->externalSnoop(req.lineAddr, requester_gets_exclusive);
+    return tracker_->externalSnoop(req.lineAddr, requester_gets_exclusive,
+                                   eq_.now());
 }
 
 LineState
@@ -829,12 +848,14 @@ Node::noteMissLatency(Tick issued, Tick ready)
 {
     stats_.memLatencySum += ready - issued;
     ++stats_.memLatencyCount;
+    missLatencyHist_.record(ready - issued);
 }
 
 void
 Node::resetStats()
 {
     stats_ = Stats{};
+    missLatencyHist_.reset();
     l1i_.resetStats();
     l1d_.resetStats();
     l2_.resetStats();
@@ -880,6 +901,9 @@ Node::addStats(StatGroup &group) const
                                               stats_.memLatencyCount)
                                     : 0.0;
                      });
+    group.addHistogram("miss_latency",
+                       "demand miss latency distribution (cycles)",
+                       &missLatencyHist_);
     l1i_.addStats(group);
     l1d_.addStats(group);
     l2_.addStats(group);

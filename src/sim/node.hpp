@@ -35,6 +35,9 @@
 
 namespace cgct {
 
+class InvariantChecker;
+class TraceSink;
+
 /** One processor node. */
 class Node : public SnoopClient
 {
@@ -74,7 +77,22 @@ class Node : public SnoopClient
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
     StreamPrefetcher &prefetcher() { return prefetcher_; }
+
+    /**
+     * Emit route-decision trace events to @p sink and forward it to the
+     * region tracker (which emits region transitions and RCA evictions).
+     */
+    void setTraceSink(TraceSink *sink);
+
+    /** Run @p checker after every locally-applied protocol transition. */
+    void setInvariantChecker(InvariantChecker *checker)
+    {
+        checker_ = checker;
+    }
 
     /** Per-node request statistics, broken down for Figures 2 and 7. */
     struct Stats {
@@ -103,6 +121,16 @@ class Node : public SnoopClient
     const Stats &stats() const { return stats_; }
     void resetStats();
     void addStats(StatGroup &group) const;
+
+    /** Demand-miss latency distribution (histogram geometry below). */
+    const Histogram &missLatencyHistogram() const
+    {
+        return missLatencyHist_;
+    }
+
+    /** Miss-latency histogram geometry: 40 linear 50-cycle buckets. */
+    static constexpr std::uint64_t kMissLatencyBucketWidth = 50;
+    static constexpr std::size_t kMissLatencyBuckets = 40;
 
     /**
      * Verify structural invariants (tests): L1s inclusive under L2, and —
@@ -205,6 +233,10 @@ class Node : public SnoopClient
     /** L2 tag port busy (incoming snoops) until this tick. */
     Tick l2TagBusy_ = 0;
     Stats stats_;
+    Histogram missLatencyHist_{kMissLatencyBucketWidth,
+                               kMissLatencyBuckets};
+    TraceSink *trace_ = nullptr;
+    InvariantChecker *checker_ = nullptr;
 };
 
 } // namespace cgct

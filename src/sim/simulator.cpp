@@ -125,6 +125,79 @@ simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
         static_cast<double>(sys.bus().traffic().peakWindowCount());
     r.cacheToCache = sys.bus().stats().cacheToCache;
     r.memorySupplied = sys.bus().stats().memorySupplied;
+
+    // Aggregate the observability histograms/distributions system-wide.
+    {
+        auto snapshotHist = [](std::string name, std::string desc,
+                               const Histogram &h) {
+            HistogramSnapshot s;
+            s.name = std::move(name);
+            s.desc = std::move(desc);
+            s.bucketWidth = h.bucketWidth();
+            s.samples = h.samples();
+            s.sum = h.sum();
+            s.buckets.resize(h.numBuckets());
+            for (std::size_t i = 0; i < h.numBuckets(); ++i)
+                s.buckets[i] = h.bucketCount(i);
+            return s;
+        };
+
+        Histogram miss(Node::kMissLatencyBucketWidth,
+                       Node::kMissLatencyBuckets);
+        for (unsigned i = 0; i < sys.numCpus(); ++i)
+            miss.merge(sys.node(i).missLatencyHistogram());
+        r.histograms.push_back(snapshotHist(
+            "node.miss_latency",
+            "demand miss latency distribution (cycles)", miss));
+
+        // Dedupe trackers: with sharedPerChip the chip's cores share one
+        // controller, whose histograms must be counted once.
+        std::vector<const CgctController *> ctrls;
+        for (unsigned i = 0; i < sys.numCpus(); ++i) {
+            const auto *c = dynamic_cast<const CgctController *>(
+                sys.node(i).tracker());
+            if (!c)
+                continue;
+            bool seen = false;
+            for (const auto *s : ctrls)
+                seen = seen || s == c;
+            if (!seen)
+                ctrls.push_back(c);
+        }
+        if (!ctrls.empty()) {
+            Histogram lines = ctrls.front()->rca().evictedLinesHistogram();
+            Distribution life = ctrls.front()->rca().regionLifetime();
+            for (std::size_t i = 1; i < ctrls.size(); ++i) {
+                lines.merge(ctrls[i]->rca().evictedLinesHistogram());
+                life.merge(ctrls[i]->rca().regionLifetime());
+            }
+            r.histograms.push_back(snapshotHist(
+                "rca.lines_at_eviction",
+                "lines cached per region at eviction", lines));
+            DistributionSnapshot d;
+            d.name = "rca.region_lifetime";
+            d.desc = "allocation-to-eviction region lifetime (cycles)";
+            d.samples = life.samples();
+            d.min = life.min();
+            d.max = life.max();
+            d.mean = life.mean();
+            d.stddev = life.stddev();
+            r.distributions.push_back(std::move(d));
+        }
+    }
+
+    // End-of-run invariant sweep over every region still live anywhere.
+    if (InvariantChecker *checker = sys.invariantChecker()) {
+        const std::string err = checker->checkAll();
+        if (!err.empty())
+            fatal("end-of-run region invariant violation: %s",
+                  err.c_str());
+    }
+
+    if (sys.traceSink().enabled()) {
+        r.trace = std::make_shared<const std::vector<TraceEvent>>(
+            sys.traceSink().takeEvents());
+    }
     return r;
 }
 

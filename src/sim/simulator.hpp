@@ -10,15 +10,39 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/confidence.hpp"
+#include "common/trace_sink.hpp"
 #include "common/types.hpp"
 #include "workload/profile.hpp"
 
 namespace cgct {
+
+/** A named histogram copied out of the finished system. */
+struct HistogramSnapshot {
+    std::string name;
+    std::string desc;
+    std::uint64_t bucketWidth = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t sum = 0;
+    /** Per-bucket counts; the last bucket is the overflow bucket. */
+    std::vector<std::uint64_t> buckets;
+};
+
+/** A named distribution (moments) copied out of the finished system. */
+struct DistributionSnapshot {
+    std::string name;
+    std::string desc;
+    std::uint64_t samples = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
 
 /** Knobs for one simulation. */
 struct RunOptions {
@@ -75,6 +99,16 @@ struct RunResult {
     std::uint64_t rcaSelfInvalidations = 0;
     std::uint64_t inclusionWritebacks = 0;
     double avgLinesPerEvictedRegion = 0.0;
+
+    // Observability: histograms/distributions aggregated over the system
+    // (node.miss_latency is window-reset at warmup; the rca.* entries are
+    // cumulative over the whole run, like the RCA scalars above).
+    std::vector<HistogramSnapshot> histograms;
+    std::vector<DistributionSnapshot> distributions;
+
+    /** Captured trace events (only when config.obs.trace was set).
+     *  Shared so copying RunResult around the sweep stays cheap. */
+    std::shared_ptr<const std::vector<TraceEvent>> trace;
 
     /** Fraction of requests that avoided a broadcast (direct + local). */
     double

@@ -63,6 +63,32 @@ System::System(const SystemConfig &config, OpSource &source)
                                            config_.topology,
                                            /*seed=*/0x10b71d9e);
     }
+
+    // Observability: the trace sink is always present (one pointer + bool
+    // test per site when disabled); the checker only when requested, or
+    // in debug builds whenever CGCT runs.
+    trace_.setEnabled(config_.obs.trace);
+    bus_->setTraceSink(&trace_);
+    for (auto &mc : memCtrls_)
+        mc->setTraceSink(&trace_);
+    for (auto &node : nodes_)
+        node->setTraceSink(&trace_);
+
+    bool check = config_.obs.checkInvariants;
+#ifndef NDEBUG
+    check = check || config_.cgct.enabled;
+#endif
+    if (check) {
+        std::vector<const Node *> const_nodes(node_ptrs.begin(),
+                                              node_ptrs.end());
+        checker_ = std::make_unique<InvariantChecker>(config_,
+                                                      const_nodes);
+        bus_->setPostResolveHook([this](const SystemRequest &req) {
+            checker_->onTransition(req.lineAddr, "bus_resolve");
+        });
+        for (auto &node : nodes_)
+            node->setInvariantChecker(checker_.get());
+    }
 }
 
 void

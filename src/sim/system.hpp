@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/trace_sink.hpp"
 #include "cpu/core_model.hpp"
 #include "event/event_queue.hpp"
 #include "interconnect/bus.hpp"
@@ -20,6 +21,7 @@
 #include "mem/address_map.hpp"
 #include "mem/memory_controller.hpp"
 #include "sim/dma.hpp"
+#include "sim/invariants.hpp"
 #include "sim/node.hpp"
 #include "sim/oracle.hpp"
 
@@ -56,6 +58,17 @@ class System
     /** The DMA engine, or nullptr when config.dma.enabled is false. */
     DmaEngine *dma() { return dma_.get(); }
 
+    /** The trace sink (enabled when config.obs.trace is set). */
+    TraceSink &traceSink() { return trace_; }
+    const TraceSink &traceSink() const { return trace_; }
+
+    /**
+     * The invariant checker, or nullptr when not active. Active when
+     * config.obs.checkInvariants is set, and automatically in debug
+     * (NDEBUG-undefined) builds whenever CGCT is enabled.
+     */
+    InvariantChecker *invariantChecker() { return checker_.get(); }
+
     bool allCoresFinished() const;
     Tick maxCoreClock() const;
 
@@ -76,6 +89,8 @@ class System
     std::vector<std::unique_ptr<CoreModel>> cores_;
     std::unique_ptr<Oracle> oracle_;
     std::unique_ptr<DmaEngine> dma_;
+    TraceSink trace_;
+    std::unique_ptr<InvariantChecker> checker_;
 };
 
 } // namespace cgct

@@ -136,19 +136,19 @@ TEST_F(CgctControllerTest, ExternalSnoopReportsAndDowngrades)
                              response(false, false), 10);
     ctrl.onLineFill(0x1000);
     // First external (shared) request: we report dirty, downgrade to DC.
-    RegionSnoopBits bits = ctrl.externalSnoop(0x1040, false);
+    RegionSnoopBits bits = ctrl.externalSnoop(0x1040, false, 0);
     EXPECT_TRUE(bits.dirty);
     EXPECT_FALSE(bits.clean);
     EXPECT_EQ(ctrl.peekState(0x1000), RegionState::DirtyClean);
     // An exclusive external request drops us to DD.
-    bits = ctrl.externalSnoop(0x1080, true);
+    bits = ctrl.externalSnoop(0x1080, true, 0);
     EXPECT_TRUE(bits.dirty);
     EXPECT_EQ(ctrl.peekState(0x1000), RegionState::DirtyDirty);
 }
 
 TEST_F(CgctControllerTest, ExternalSnoopOnUnknownRegionReportsNothing)
 {
-    const RegionSnoopBits bits = ctrl.externalSnoop(0x7000, true);
+    const RegionSnoopBits bits = ctrl.externalSnoop(0x7000, true, 0);
     EXPECT_TRUE(bits.none());
 }
 
@@ -158,7 +158,7 @@ TEST_F(CgctControllerTest, SelfInvalidationOnEmptyRegion)
                              response(false, false), 10);
     // No lines cached (count == 0): an external request self-invalidates
     // the region and reports no copies (Section 3.1).
-    const RegionSnoopBits bits = ctrl.externalSnoop(0x1000, false);
+    const RegionSnoopBits bits = ctrl.externalSnoop(0x1000, false, 0);
     EXPECT_TRUE(bits.none());
     EXPECT_EQ(ctrl.peekState(0x1000), RegionState::Invalid);
     EXPECT_EQ(ctrl.rca().stats().selfInvalidations, 1u);
@@ -171,7 +171,7 @@ TEST_F(CgctControllerTest, SelfInvalidationDisabled)
     CgctController c(0, p, 64);
     c.onBroadcastResponse(RequestType::ReadExclusive, 0x1000, true,
                           response(false, false), 10);
-    const RegionSnoopBits bits = c.externalSnoop(0x1000, false);
+    const RegionSnoopBits bits = c.externalSnoop(0x1000, false, 0);
     EXPECT_TRUE(bits.dirty); // Still reported; no self-invalidation.
     EXPECT_EQ(c.peekState(0x1000), RegionState::DirtyClean);
 }
@@ -240,7 +240,7 @@ TEST_F(CgctControllerTest, ThreeStateModeCollapses)
     EXPECT_EQ(c.peekState(0x3000), RegionState::DirtyInvalid);
     // The response bit is a single "cached externally" signal.
     c.onLineFill(0x3000);
-    const RegionSnoopBits bits = c.externalSnoop(0x3000, false);
+    const RegionSnoopBits bits = c.externalSnoop(0x3000, false, 0);
     EXPECT_TRUE(bits.dirty);
     EXPECT_FALSE(bits.clean);
 }

@@ -1,7 +1,7 @@
 /**
  * @file
- * Tests for the JSON results writer: field presence, numeric fidelity,
- * and structural validity (balanced braces, valid arrays).
+ * Tests for the JSON results writer: field presence, grouped structure,
+ * numeric fidelity, and structural validity (balanced braces, arrays).
  */
 
 #include <gtest/gtest.h>
@@ -52,6 +52,52 @@ TEST(JsonStats, ContainsKeyFields)
               std::string::npos);
 }
 
+TEST(JsonStats, GroupedByComponent)
+{
+    const std::string j = toJson(sampleResult());
+    // Stats are nested per component rather than flattened with prefixes.
+    EXPECT_NE(j.find("\"requests\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"oracle\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"traffic\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"memory\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"rca\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"histograms\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"distributions\": {"), std::string::npos);
+    // The oracle group holds the bare "total"/"unnecessary" names.
+    const auto oracle = j.find("\"oracle\": {");
+    const auto unnecessary = j.find("\"unnecessary\": 200", oracle);
+    EXPECT_NE(unnecessary, std::string::npos);
+}
+
+TEST(JsonStats, HistogramsAndDistributions)
+{
+    RunResult r = sampleResult();
+    HistogramSnapshot h;
+    h.name = "node.miss_latency";
+    h.bucketWidth = 50;
+    h.samples = 7;
+    h.sum = 350;
+    h.buckets = {3, 4};
+    r.histograms.push_back(h);
+    DistributionSnapshot d;
+    d.name = "rca.region_lifetime";
+    d.samples = 5;
+    d.min = 10;
+    d.max = 90;
+    d.mean = 40;
+    d.stddev = 12.5;
+    r.distributions.push_back(d);
+
+    const std::string j = toJson(r);
+    EXPECT_NE(j.find("\"node.miss_latency\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"bucket_width\": 50"), std::string::npos);
+    EXPECT_NE(j.find("\"buckets\": [3, 4]"), std::string::npos);
+    EXPECT_NE(j.find("\"rca.region_lifetime\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"stddev\": 12.5"), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+}
+
 TEST(JsonStats, BalancedStructure)
 {
     const std::string j = toJson(sampleResult());
@@ -59,8 +105,9 @@ TEST(JsonStats, BalancedStructure)
               std::count(j.begin(), j.end(), '}'));
     EXPECT_EQ(std::count(j.begin(), j.end(), '['),
               std::count(j.begin(), j.end(), ']'));
-    // No trailing comma before the closing brace.
+    // No trailing comma before a closing brace.
     EXPECT_EQ(j.find(",\n}"), std::string::npos);
+    EXPECT_EQ(j.find(",\n  }"), std::string::npos);
 }
 
 TEST(JsonStats, ArrayOfResults)
@@ -71,8 +118,8 @@ TEST(JsonStats, ArrayOfResults)
     EXPECT_EQ(j.front(), '[');
     EXPECT_NE(j.find("\"tpc-w\""), std::string::npos);
     EXPECT_NE(j.find("\"barnes\""), std::string::npos);
-    EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 2);
-    EXPECT_EQ(std::count(j.begin(), j.end(), '}'), 2);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
 }
 
 TEST(JsonStats, EmptyBatch)

@@ -87,7 +87,7 @@ TEST_F(RegionScoutTest, ExternalActivityInvalidatesNsrt)
 {
     rs.onBroadcastResponse(RequestType::Read, 0x1000, true,
                            response(false, false), 1);
-    rs.externalSnoop(0x1040, false);
+    rs.externalSnoop(0x1040, false, 0);
     EXPECT_EQ(rs.stats().nsrtInvalidations, 1u);
     EXPECT_EQ(rs.route(RequestType::Read, 0x1000, 2).kind,
               RouteKind::Broadcast);
@@ -95,7 +95,7 @@ TEST_F(RegionScoutTest, ExternalActivityInvalidatesNsrt)
 
 TEST_F(RegionScoutTest, CrhFiltersSnoopsForUncachedRegions)
 {
-    const RegionSnoopBits bits = rs.externalSnoop(0x5000, false);
+    const RegionSnoopBits bits = rs.externalSnoop(0x5000, false, 0);
     EXPECT_TRUE(bits.none());
     EXPECT_EQ(rs.stats().crhFilteredSnoops, 1u);
 }
@@ -103,11 +103,11 @@ TEST_F(RegionScoutTest, CrhFiltersSnoopsForUncachedRegions)
 TEST_F(RegionScoutTest, CrhReportsCachedRegionsConservatively)
 {
     rs.onLineFill(0x5000);
-    const RegionSnoopBits bits = rs.externalSnoop(0x5000, false);
+    const RegionSnoopBits bits = rs.externalSnoop(0x5000, false, 0);
     // Imprecise: reported as possibly dirty.
     EXPECT_TRUE(bits.dirty);
     rs.onLineEvict(0x5000);
-    EXPECT_TRUE(rs.externalSnoop(0x5000, false).none());
+    EXPECT_TRUE(rs.externalSnoop(0x5000, false, 0).none());
 }
 
 TEST_F(RegionScoutTest, CrhCountsMultipleLines)
@@ -116,7 +116,7 @@ TEST_F(RegionScoutTest, CrhCountsMultipleLines)
     rs.onLineFill(0x5040);
     rs.onLineEvict(0x5000);
     // One line still cached: still reports.
-    EXPECT_TRUE(rs.externalSnoop(0x5000, false).dirty);
+    EXPECT_TRUE(rs.externalSnoop(0x5000, false, 0).dirty);
 }
 
 TEST_F(RegionScoutTest, NsrtReplacementEvictsLru)

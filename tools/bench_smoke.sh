@@ -10,6 +10,11 @@
 # 2. Validates the bench's JSON output against the expected schema.
 # 3. Validates the recorded repo baseline BENCH_kernel.json against its
 #    schema, so the committed perf record can't silently rot.
+# 4. Gates throughput: the fresh steady_events_per_sec must reach at
+#    least CGCT_BENCH_MIN_FRAC (default 0.65) of the recorded baseline's
+#    event_queue.steady_events_per_sec, so a perf regression in the
+#    event kernel fails CI instead of slipping by. The slack absorbs
+#    machine-to-machine variance; tighten it on a quiet dedicated box.
 #
 # Wired into ctest as the `bench_smoke` test (see tests/CMakeLists.txt).
 
@@ -71,5 +76,27 @@ if [ ! -f "$baseline" ]; then
 fi
 json_check "$(cat "$baseline")" "BENCH_kernel.json" \
     schema date build event_queue sweep || exit 1
+
+# Throughput gate vs. the recorded baseline (needs python3 to compare).
+min_frac="${CGCT_BENCH_MIN_FRAC:-0.65}"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$baseline" "$min_frac" <<PYEOF || exit 1
+import json, sys
+fresh = json.loads("""$out""")
+baseline = json.load(open(sys.argv[1]))
+frac = float(sys.argv[2])
+ref = baseline["event_queue"]["steady_events_per_sec"]
+got = fresh["steady_events_per_sec"]
+floor = frac * ref
+if got < floor:
+    sys.exit(f"bench_smoke: steady_events_per_sec {got:.3g} is below "
+             f"{frac} x baseline {ref:.3g} (floor {floor:.3g}) — "
+             f"event-kernel perf regression?")
+print(f"bench_smoke: throughput {got:.3g} ev/s >= {frac} x "
+      f"baseline {ref:.3g}")
+PYEOF
+else
+    echo "bench_smoke: python3 missing, skipping throughput gate" >&2
+fi
 
 echo "bench_smoke: OK — allocation gate passed, JSON schemas valid"

@@ -6,11 +6,14 @@
  *
  *   cgct_sim tpc-w --region 512 --seeds 3
  *   cgct_sim barnes --baseline --stats
- *   cgct_sim --trace run.trace --region 1024 --json
+ *   cgct_sim --replay run.trace --region 1024 --json
+ *   cgct_sim ocean --trace ocean.jsonl --trace-format jsonl
+ *   cgct_sim tpc-w --check-invariants
  *   cgct_sim --list
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -18,6 +21,7 @@
 #include "common/argparse.hpp"
 #include "common/log.hpp"
 #include "common/config.hpp"
+#include "common/trace_sink.hpp"
 #include "sim/json_stats.hpp"
 #include "sim/simulator.hpp"
 #include "sim/system.hpp"
@@ -61,6 +65,21 @@ printSummary(const RunResult &r)
                 r.avgBroadcastsPer100k, r.peakBroadcastsPer100k);
 }
 
+void
+writeTrace(const RunResult &r, const std::string &path,
+           const std::string &format)
+{
+    if (!r.trace)
+        fatal("run produced no trace to write to %s", path.c_str());
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace output file %s", path.c_str());
+    if (format == "chrome")
+        TraceSink::writeChromeTrace(*r.trace, os);
+    else
+        TraceSink::writeJsonl(*r.trace, os);
+}
+
 } // namespace
 
 int
@@ -85,7 +104,10 @@ main(int argc, char **argv)
     bool json = false;
     bool stats = false;
     bool list = false;
-    std::string trace_path;
+    bool check_invariants = false;
+    std::string replay_path;
+    std::string trace_out;
+    std::string trace_format = "jsonl";
 
     ArgParser parser(
         "cgct_sim",
@@ -118,8 +140,17 @@ main(int argc, char **argv)
     parser.addU64("jobs", &jobs,
                   "worker threads for multi-seed runs (0 = hardware "
                   "concurrency, 1 = serial)");
-    parser.addString("trace", &trace_path,
-                     "replay this trace file instead of a benchmark");
+    parser.addString("replay", &replay_path,
+                     "replay this recorded trace file instead of a "
+                     "benchmark");
+    parser.addString("trace", &trace_out,
+                     "write a structured event trace of the run to this "
+                     "path (see docs/TRACING.md)");
+    parser.addString("trace-format", &trace_format,
+                     "trace output format: jsonl (default) or chrome");
+    parser.addFlag("check-invariants", &check_invariants,
+                   "cross-check region state against cache contents at "
+                   "every ordering point");
     parser.addFlag("json", &json, "print results as JSON");
     parser.addFlag("stats", &stats, "dump full component statistics");
 
@@ -151,6 +182,13 @@ main(int argc, char **argv)
         config.cgct.sharedPerChip = shared_rca;
     }
     config.dma.enabled = dma;
+    if (trace_format != "jsonl" && trace_format != "chrome") {
+        std::fprintf(stderr,
+                     "cgct_sim: --trace-format must be jsonl or chrome\n");
+        return 1;
+    }
+    config.obs.trace = !trace_out.empty();
+    config.obs.checkInvariants = check_invariants;
     config.validate();
 
     RunOptions opts;
@@ -159,17 +197,23 @@ main(int argc, char **argv)
     opts.seed = seed;
 
     std::vector<RunResult> results;
-    if (!trace_path.empty()) {
-        // Trace replay: drive a System directly from the trace.
-        TraceReader reader(trace_path);
+    if (!replay_path.empty()) {
+        // Trace replay: drive a System directly from the recorded trace.
+        TraceReader reader(replay_path);
         if (reader.numCpus() != config.topology.numCpus)
             fatal("trace has %u CPUs but the system has %u",
                   reader.numCpus(), config.topology.numCpus);
         System sys(config, reader);
         sys.start();
         sys.eq().run();
+        if (InvariantChecker *checker = sys.invariantChecker()) {
+            const std::string err = checker->checkAll();
+            if (!err.empty())
+                fatal("end-of-run region invariant violation: %s",
+                      err.c_str());
+        }
         RunResult r;
-        r.workload = "trace:" + trace_path;
+        r.workload = "trace:" + replay_path;
         r.regionBytes = config.cgct.enabled ? config.cgct.regionBytes : 0;
         r.cycles = sys.maxCoreClock();
         for (unsigned i = 0; i < sys.numCpus(); ++i) {
@@ -179,6 +223,10 @@ main(int argc, char **argv)
             r.directs += ns.directs;
             r.locals += ns.localCompletes;
             r.instructions += sys.core(i).instructions();
+        }
+        if (sys.traceSink().enabled()) {
+            r.trace = std::make_shared<const std::vector<TraceEvent>>(
+                sys.traceSink().takeEvents());
         }
         results.push_back(r);
         if (stats)
@@ -194,6 +242,19 @@ main(int argc, char **argv)
             results = simulateSeedsParallel(
                 config, profile, opts, static_cast<unsigned>(seeds),
                 static_cast<unsigned>(jobs));
+    }
+
+    if (!trace_out.empty()) {
+        // One file per run: the plain path for a single run, .N suffixes
+        // for multi-seed batches.
+        if (results.size() == 1) {
+            writeTrace(results[0], trace_out, trace_format);
+        } else {
+            for (std::size_t i = 0; i < results.size(); ++i)
+                writeTrace(results[i],
+                           trace_out + "." + std::to_string(i),
+                           trace_format);
+        }
     }
 
     if (json) {

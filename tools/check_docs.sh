@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# check_docs.sh — fail when a CLI flag registered in tools/*.cpp is not
-# documented in docs/SWEEP.md.
+# check_docs.sh — fail when the code and the documentation disagree.
 #
-# Every option registered through ArgParser::addFlag/addU64/addDouble/
-# addString must appear in docs/SWEEP.md as `--name`, and every
-# positional registered through addPositional must appear as `<name>`.
+# Guards, in order:
+#   1. Every option registered through ArgParser::addFlag/addU64/
+#      addDouble/addString must appear in docs/SWEEP.md as `--name`, and
+#      every positional registered through addPositional as `<name>`.
+#   2. docs/PERF.md must cover the perf bench targets and build knobs.
+#   3. Every trace event type in the CGCT_TRACE_EVENT_TYPES X-macro
+#      (src/common/trace_sink.hpp) must be documented in docs/TRACING.md.
+#   4. Every histogram/distribution stat registered through
+#      addHistogram/addDistribution must be documented in docs/TRACING.md.
+#   5. docs/ARCHITECTURE.md must exist and be cross-linked from
+#      README.md, DESIGN.md, docs/PERF.md, and docs/SWEEP.md.
+#
 # Run from anywhere:
 #
 #   tools/check_docs.sh [repo-root]
@@ -64,9 +72,62 @@ else
     done
 fi
 
+# Tracing documentation: every event type in the X-macro and every
+# registered histogram/distribution stat must appear in docs/TRACING.md,
+# so the trace schema can't drift from its documentation.
+trace_doc="$root/docs/TRACING.md"
+if [ ! -f "$trace_doc" ]; then
+    echo "check_docs: $trace_doc is missing" >&2
+    fail=1
+else
+    event_types=$(grep -oE '^[[:space:]]+X\([a-z_]+\)' \
+        "$root/src/common/trace_sink.hpp" |
+        sed -E 's/.*X\(([a-z_]+)\)/\1/' | sort -u)
+    if [ -z "$event_types" ]; then
+        echo "check_docs: found no trace event types in" \
+             "src/common/trace_sink.hpp (X-macro moved?)" >&2
+        fail=1
+    fi
+    for ev in $event_types; do
+        if ! grep -q -- "\`$ev\`" "$trace_doc"; then
+            echo "check_docs: trace event type $ev is not documented" \
+                 "in docs/TRACING.md" >&2
+            fail=1
+        fi
+    done
+
+    stat_names=$(grep -rhoE \
+        'add(Histogram|Distribution)\("[A-Za-z0-9_.]+"' "$root/src" |
+        sed -E 's/.*\("([A-Za-z0-9_.]+)"/\1/' | sort -u)
+    for stat in $stat_names; do
+        if ! grep -q -- "$stat" "$trace_doc"; then
+            echo "check_docs: histogram/distribution stat $stat is not" \
+                 "documented in docs/TRACING.md" >&2
+            fail=1
+        fi
+    done
+fi
+
+# Architecture documentation: docs/ARCHITECTURE.md must exist and be
+# reachable from the entry-point docs.
+arch_doc="$root/docs/ARCHITECTURE.md"
+if [ ! -f "$arch_doc" ]; then
+    echo "check_docs: $arch_doc is missing" >&2
+    fail=1
+else
+    for ref in README.md DESIGN.md docs/PERF.md docs/SWEEP.md; do
+        if ! grep -q "ARCHITECTURE.md" "$root/$ref"; then
+            echo "check_docs: $ref does not link to docs/ARCHITECTURE.md" \
+                 >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
-    echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md" >&2
+    echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md /" \
+         "docs/TRACING.md / docs/ARCHITECTURE.md" >&2
     exit 1
 fi
-echo "check_docs: every tools/*.cpp flag is documented in docs/SWEEP.md," \
-     "and docs/PERF.md covers the perf targets"
+echo "check_docs: flags, perf targets, trace event types, stat names," \
+     "and architecture cross-links are all documented"

@@ -1,5 +1,8 @@
 #include "cache/cache_array.hpp"
 
+#include <bit>
+#include <cassert>
+
 #include "common/log.hpp"
 
 namespace cgct {
@@ -7,7 +10,8 @@ namespace cgct {
 CacheArray::CacheArray(std::uint64_t sets, unsigned ways,
                        unsigned line_bytes)
     : sets_(sets), ways_(ways), lineBytes_(line_bytes),
-      lineShift_(log2i(line_bytes)), frames_(sets * ways)
+      lineShift_(log2i(line_bytes)), tags_(sets * ways, 0),
+      occupied_(sets, 0), mruWay_(sets, 0), meta_(sets * ways)
 {
     if (!isPowerOfTwo(sets))
         panic("CacheArray: sets must be a power of two (got %llu)",
@@ -17,6 +21,9 @@ CacheArray::CacheArray(std::uint64_t sets, unsigned ways,
               line_bytes);
     if (ways == 0)
         panic("CacheArray: associativity must be >= 1");
+    if (ways > 64)
+        panic("CacheArray: associativity above 64 exceeds the per-set "
+              "occupancy mask");
 }
 
 std::uint64_t
@@ -28,13 +35,32 @@ CacheArray::setIndex(Addr addr) const
 CacheLine *
 CacheArray::find(Addr addr)
 {
-    const Addr line_addr = lineAlign(addr);
-    CacheLine *base = setBase(setIndex(addr));
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid() && base[w].lineAddr == line_addr)
-            return &base[w];
+    const Addr tag = addr >> lineShift_;
+    const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+    const std::uint64_t occ = occupied_[set];
+    if (!occ)
+        return nullptr;
+    const std::size_t base = set * ways_;
+
+    // MRU fast path: a repeated hit to the same line skips the scan.
+    const unsigned hint = mruWay_[set];
+    if (((occ >> hint) & 1) && tags_[base + hint] == tag) {
+        CacheLine &line = meta_[base + hint];
+        return line.valid() ? &line : nullptr;
     }
-    return nullptr;
+
+    std::uint64_t match = 0;
+    for (unsigned w = 0; w < ways_; ++w)
+        match |= static_cast<std::uint64_t>(tags_[base + w] == tag) << w;
+    match &= occ;
+    if (!match)
+        return nullptr;
+    const unsigned w = static_cast<unsigned>(std::countr_zero(match));
+    CacheLine &line = meta_[base + w];
+    if (!line.valid())
+        return nullptr;
+    mruWay_[set] = static_cast<std::uint8_t>(w);
+    return &line;
 }
 
 const CacheLine *
@@ -47,38 +73,64 @@ CacheLine *
 CacheArray::allocate(Addr addr, Eviction &evicted)
 {
     evicted = Eviction{};
-    const Addr line_addr = lineAlign(addr);
-    CacheLine *base = setBase(setIndex(addr));
-    CacheLine *victim = nullptr;
+    const Addr tag = addr >> lineShift_;
+    const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+    const std::size_t base = set * ways_;
+    const std::uint64_t occ = occupied_[set];
+
+    unsigned victim = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        CacheLine &frame = base[w];
-        if (frame.valid() && frame.lineAddr == line_addr)
-            panic("CacheArray: allocating a line that is already present");
-        if (!frame.valid()) {
-            victim = &frame;
+        if (!((occ >> w) & 1)) {
+            victim = w;
             break;
         }
-        if (!victim || frame.lastUse < victim->lastUse)
-            victim = &frame;
+        const CacheLine &frame = meta_[base + w];
+        if (tags_[base + w] == tag && frame.valid())
+            panic("CacheArray: allocating a line that is already present");
+        if (victim == ways_ ||
+            frame.lastUse < meta_[base + victim].lastUse) {
+            victim = w;
+        }
     }
-    if (victim->valid()) {
-        evicted.valid = true;
-        evicted.lineAddr = victim->lineAddr;
-        evicted.state = victim->state;
+
+    CacheLine &frame = meta_[base + victim];
+    if ((occ >> victim) & 1) {
+        if (frame.valid()) {
+            evicted.valid = true;
+            evicted.lineAddr = frame.lineAddr;
+            evicted.state = frame.state;
+        }
+    } else {
+        occupied_[set] |= std::uint64_t{1} << victim;
+        ++numValid_;
     }
-    *victim = CacheLine{};
-    victim->lineAddr = line_addr;
-    return victim;
+    tags_[base + victim] = tag;
+    mruWay_[set] = static_cast<std::uint8_t>(victim);
+    frame = CacheLine{};
+    frame.lineAddr = tag << lineShift_;
+    return &frame;
 }
 
 LineState
 CacheArray::invalidate(Addr addr)
 {
-    CacheLine *line = find(addr);
-    if (!line)
+    const Addr tag = addr >> lineShift_;
+    const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+    const std::size_t base = set * ways_;
+    std::uint64_t match = 0;
+    for (unsigned w = 0; w < ways_; ++w)
+        match |= static_cast<std::uint64_t>(tags_[base + w] == tag) << w;
+    match &= occupied_[set];
+    if (!match)
         return LineState::Invalid;
-    const LineState prior = line->state;
-    *line = CacheLine{};
+    const unsigned w = static_cast<unsigned>(std::countr_zero(match));
+    CacheLine &frame = meta_[base + w];
+    if (!frame.valid())
+        return LineState::Invalid;
+    const LineState prior = frame.state;
+    frame = CacheLine{};
+    occupied_[set] &= ~(std::uint64_t{1} << w);
+    --numValid_;
     return prior;
 }
 
@@ -86,10 +138,27 @@ void
 CacheArray::forEachLineInRegion(Addr region_base, std::uint64_t region_bytes,
                                 FunctionRef<void(CacheLine &)> fn)
 {
-    for (Addr a = region_base; a < region_base + region_bytes;
-         a += lineBytes_) {
-        if (CacheLine *line = find(a))
-            fn(*line);
+    const Addr base_tag = region_base >> lineShift_;
+    const std::uint64_t nlines =
+        (region_bytes + lineBytes_ - 1) >> lineShift_;
+    for (std::uint64_t i = 0; i < nlines; ++i) {
+        const Addr tag = base_tag + i;
+        const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+        const std::uint64_t occ = occupied_[set];
+        if (!occ)
+            continue;
+        const std::size_t base = set * ways_;
+        std::uint64_t match = 0;
+        for (unsigned w = 0; w < ways_; ++w)
+            match |=
+                static_cast<std::uint64_t>(tags_[base + w] == tag) << w;
+        match &= occ;
+        if (!match)
+            continue;
+        CacheLine &line =
+            meta_[base + static_cast<unsigned>(std::countr_zero(match))];
+        if (line.valid())
+            fn(line);
     }
 }
 
@@ -98,28 +167,55 @@ CacheArray::forEachLineInRegion(
     Addr region_base, std::uint64_t region_bytes,
     FunctionRef<void(const CacheLine &)> fn) const
 {
-    for (Addr a = region_base; a < region_base + region_bytes;
-         a += lineBytes_) {
-        if (const CacheLine *line = find(a))
-            fn(*line);
+    const_cast<CacheArray *>(this)->forEachLineInRegion(
+        region_base, region_bytes,
+        [&fn](CacheLine &line) { fn(line); });
+}
+
+void
+CacheArray::forEachValidLine(FunctionRef<void(const CacheLine &)> fn) const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        std::uint64_t occ = occupied_[set];
+        const std::size_t base = set * ways_;
+        while (occ) {
+            const unsigned w =
+                static_cast<unsigned>(std::countr_zero(occ));
+            occ &= occ - 1;
+            const CacheLine &frame = meta_[base + w];
+            if (frame.valid())
+                fn(frame);
+        }
     }
 }
 
 std::uint64_t
 CacheArray::countValid() const
 {
-    std::uint64_t n = 0;
-    for (const auto &frame : frames_)
+#ifndef NDEBUG
+    // The incremental counter tracks tag occupancy; outside the
+    // allocate()-to-state-assignment window they agree with the
+    // state-based definition. Debug builds verify that.
+    std::uint64_t scan = 0;
+    for (const auto &frame : meta_)
         if (frame.valid())
-            ++n;
-    return n;
+            ++scan;
+    assert(scan == numValid_ &&
+           "CacheArray: incremental valid counter out of sync");
+#endif
+    return numValid_;
 }
 
 void
 CacheArray::reset()
 {
-    for (auto &frame : frames_)
+    for (auto &frame : meta_)
         frame = CacheLine{};
+    for (auto &occ : occupied_)
+        occ = 0;
+    for (auto &hint : mruWay_)
+        hint = 0;
+    numValid_ = 0;
 }
 
 } // namespace cgct

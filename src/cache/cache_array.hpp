@@ -4,6 +4,24 @@
  * instruction/data caches and the unified L2. Stores line metadata only
  * (coherence state and fill timing); the simulator does not model data
  * values.
+ *
+ * Storage is split structure-of-arrays for lookup speed (the hot path of
+ * every simulated memory access):
+ *  - a packed per-set tag array (`lineAddr >> lineShift`), scanned with a
+ *    branch-free compare loop;
+ *  - a per-set occupancy bitmask (one bit per way), so empty sets cost
+ *    one load and the compare loop needs no per-way valid branch;
+ *  - a per-set MRU way hint, so repeated hits to the same line skip the
+ *    scan entirely;
+ *  - a parallel CacheLine metadata array touched only on hit — callers
+ *    keep the stable `CacheLine *` interface (pointers stay valid until
+ *    the frame is invalidated or reallocated).
+ *
+ * The occupancy bit tracks tag residency, which is set at allocate()
+ * time; a frame's *coherence* validity is its metadata state, which the
+ * caller assigns right after allocate() (Cache::fill). Lookups confirm
+ * `state != Invalid` on a tag match, so a frame inside that window reads
+ * as a miss — exactly as the previous array-of-structs scan behaved.
  */
 
 #pragma once
@@ -40,7 +58,8 @@ class CacheArray
   public:
     /**
      * @param sets       number of sets (power of two)
-     * @param ways       associativity
+     * @param ways       associativity (1..64; the occupancy mask is one
+     *                   64-bit word per set)
      * @param line_bytes line size in bytes (power of two)
      */
     CacheArray(std::uint64_t sets, unsigned ways, unsigned line_bytes);
@@ -76,7 +95,10 @@ class CacheArray
 
     /**
      * Visit every valid line whose address falls inside the aligned region
-     * [region_base, region_base + region_bytes). The visitor is a
+     * [region_base, region_base + region_bytes), in ascending address
+     * order (the flush path's write-back order depends on it). Indexes
+     * only the sets the region's lines can map to — one occupancy-mask
+     * load per candidate line, no LRU/MRU side effects. The visitor is a
      * non-owning FunctionRef: this runs on the snoop/region-flush hot
      * path, and a std::function here allocated per visit.
      */
@@ -88,15 +110,9 @@ class CacheArray
                         FunctionRef<void(const CacheLine &)> fn) const;
 
     /** Visit every valid line (tests / invariant checks). */
-    void
-    forEachValidLine(FunctionRef<void(const CacheLine &)> fn) const
-    {
-        for (const auto &frame : frames_)
-            if (frame.valid())
-                fn(frame);
-    }
+    void forEachValidLine(FunctionRef<void(const CacheLine &)> fn) const;
 
-    /** Count of valid lines (linear scan; for tests/stats only). */
+    /** Count of valid lines (O(1): maintained incrementally). */
     std::uint64_t countValid() const;
 
     /** Invalidate everything (between simulation phases). */
@@ -104,13 +120,22 @@ class CacheArray
 
   private:
     std::uint64_t setIndex(Addr addr) const;
-    CacheLine *setBase(std::uint64_t set) { return &frames_[set * ways_]; }
 
     std::uint64_t sets_;
     unsigned ways_;
     unsigned lineBytes_;
     unsigned lineShift_;
-    std::vector<CacheLine> frames_;
+
+    /** Packed tags (`lineAddr >> lineShift_`), set-major, way-minor. */
+    std::vector<Addr> tags_;
+    /** Per-set tag-occupancy bitmask (bit w = way w holds a tag). */
+    std::vector<std::uint64_t> occupied_;
+    /** Per-set most-recently-hit way hint. */
+    std::vector<std::uint8_t> mruWay_;
+    /** Frame metadata, parallel to tags_; touched only on hit. */
+    std::vector<CacheLine> meta_;
+    /** Occupied-frame count, maintained incrementally. */
+    std::uint64_t numValid_ = 0;
 };
 
 } // namespace cgct

@@ -4,36 +4,53 @@
 
 namespace cgct {
 
-void
+MshrFile::MshrFile(unsigned capacity)
+    : capacity_(capacity),
+      table_(static_cast<std::size_t>(capacity) * 2)
+{
+    prefetch_.assign(capacity_, 0);
+    freeSlots_.reserve(capacity_);
+    for (std::uint32_t s = capacity_; s-- > 0;)
+        freeSlots_.push_back(s);
+}
+
+std::uint32_t
 MshrFile::allocate(Addr line_addr, bool prefetch)
 {
     if (full())
         panic("MshrFile: allocate on a full file");
-    if (contains(line_addr))
+    if (table_.contains(line_addr))
         panic("MshrFile: duplicate allocation for line %llx",
               static_cast<unsigned long long>(line_addr));
-    entries_.emplace(line_addr, Entry{prefetch});
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    table_.insert(line_addr) = slot;
+    prefetch_[slot] = prefetch ? 1 : 0;
+    ++inFlight_;
+    return slot;
 }
 
 bool
 MshrFile::release(Addr line_addr)
 {
-    return entries_.erase(line_addr) != 0;
-}
-
-bool
-MshrFile::isPrefetch(Addr line_addr) const
-{
-    auto it = entries_.find(line_addr);
-    return it != entries_.end() && it->second.prefetch;
+    std::uint32_t slot;
+    if (!table_.take(line_addr, slot))
+        return false;
+    prefetch_[slot] = 0;
+    freeSlots_.push_back(slot);
+    --inFlight_;
+    return true;
 }
 
 void
-MshrFile::promoteToDemand(Addr line_addr)
+MshrFile::clear()
 {
-    auto it = entries_.find(line_addr);
-    if (it != entries_.end())
-        it->second.prefetch = false;
+    table_.clear();
+    freeSlots_.clear();
+    for (std::uint32_t s = capacity_; s-- > 0;)
+        freeSlots_.push_back(s);
+    prefetch_.assign(capacity_, 0);
+    inFlight_ = 0;
 }
 
 } // namespace cgct

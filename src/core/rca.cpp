@@ -1,5 +1,8 @@
 #include "core/rca.hpp"
 
+#include <bit>
+#include <cassert>
+
 #include "common/log.hpp"
 #include "common/trace_sink.hpp"
 
@@ -10,6 +13,7 @@ RegionCoherenceArray::RegionCoherenceArray(std::uint64_t sets, unsigned ways,
                                            bool favor_empty)
     : sets_(sets), ways_(ways), regionBytes_(region_bytes),
       regionShift_(log2i(region_bytes)), favorEmpty_(favor_empty),
+      tags_(sets * ways, 0), occupied_(sets, 0), mruWay_(sets, 0),
       entries_(sets * ways)
 {
     if (!isPowerOfTwo(sets))
@@ -18,6 +22,9 @@ RegionCoherenceArray::RegionCoherenceArray(std::uint64_t sets, unsigned ways,
         panic("RCA: region size must be a power of two");
     if (ways == 0)
         panic("RCA: associativity must be >= 1");
+    if (ways > 64)
+        panic("RCA: associativity above 64 exceeds the per-set "
+              "occupancy mask");
 }
 
 std::uint64_t
@@ -26,19 +33,50 @@ RegionCoherenceArray::setIndex(Addr addr) const
     return (addr >> regionShift_) & (sets_ - 1);
 }
 
+unsigned
+RegionCoherenceArray::scanSet(std::size_t set, Addr tag) const
+{
+    const std::uint64_t occ = occupied_[set];
+    if (!occ)
+        return ways_;
+    const std::size_t base = set * ways_;
+    std::uint64_t match = 0;
+    for (unsigned w = 0; w < ways_; ++w)
+        match |= static_cast<std::uint64_t>(tags_[base + w] == tag) << w;
+    match &= occ;
+    if (!match)
+        return ways_;
+    const unsigned w = static_cast<unsigned>(std::countr_zero(match));
+    return entries_[base + w].valid() ? w : ways_;
+}
+
 RegionEntry *
 RegionCoherenceArray::find(Addr addr)
 {
-    const Addr region = regionAlign(addr);
-    RegionEntry *base = setBase(setIndex(addr));
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid() && base[w].regionAddr == region) {
+    const Addr tag = addr >> regionShift_;
+    const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+    const std::size_t base = set * ways_;
+
+    // MRU fast path: a repeated hit to the same region skips the scan.
+    const unsigned hint = mruWay_[set];
+    if (((occupied_[set] >> hint) & 1) && tags_[base + hint] == tag) {
+        RegionEntry &entry = entries_[base + hint];
+        if (entry.valid()) {
             ++stats_.hits;
-            return &base[w];
+            return &entry;
         }
+        ++stats_.misses;
+        return nullptr;
     }
-    ++stats_.misses;
-    return nullptr;
+
+    const unsigned w = scanSet(set, tag);
+    if (w == ways_) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    mruWay_[set] = static_cast<std::uint8_t>(w);
+    ++stats_.hits;
+    return &entries_[base + w];
 }
 
 const RegionEntry *
@@ -50,81 +88,108 @@ RegionCoherenceArray::find(Addr addr) const
 const RegionEntry *
 RegionCoherenceArray::peekEntry(Addr addr) const
 {
-    const Addr region = regionAlign(addr);
-    const RegionEntry *base =
-        &entries_[setIndex(addr) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid() && base[w].regionAddr == region)
-            return &base[w];
-    }
-    return nullptr;
+    const Addr tag = addr >> regionShift_;
+    const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+    const unsigned w = scanSet(set, tag);
+    return w == ways_ ? nullptr : &entries_[set * ways_ + w];
 }
 
 RegionEntry *
 RegionCoherenceArray::allocate(Addr addr, Tick now, RegionEviction &evicted)
 {
     evicted = RegionEviction{};
-    const Addr region = regionAlign(addr);
-    RegionEntry *base = setBase(setIndex(addr));
+    const Addr tag = addr >> regionShift_;
+    const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+    const std::size_t base = set * ways_;
+    const std::uint64_t occ = occupied_[set];
 
-    RegionEntry *victim = nullptr;
-    RegionEntry *empty_lru = nullptr;
-    RegionEntry *any_lru = nullptr;
+    unsigned victim = ways_;
+    unsigned empty_lru = ways_;
+    unsigned any_lru = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        RegionEntry &e = base[w];
-        if (e.valid() && e.regionAddr == region)
-            panic("RCA: allocating a region that is already present");
-        if (!e.valid()) {
-            victim = &e;
+        if (!((occ >> w) & 1)) {
+            victim = w;
             break;
         }
+        const RegionEntry &e = entries_[base + w];
+        if (tags_[base + w] == tag && e.valid())
+            panic("RCA: allocating a region that is already present");
         if (e.lineCount == 0 &&
-            (!empty_lru || e.lastUse < empty_lru->lastUse)) {
-            empty_lru = &e;
+            (empty_lru == ways_ ||
+             e.lastUse < entries_[base + empty_lru].lastUse)) {
+            empty_lru = w;
         }
-        if (!any_lru || e.lastUse < any_lru->lastUse)
-            any_lru = &e;
-    }
-    if (!victim)
-        victim = (favorEmpty_ && empty_lru) ? empty_lru : any_lru;
-
-    if (victim->valid()) {
-        evicted.valid = true;
-        evicted.regionAddr = victim->regionAddr;
-        evicted.state = victim->state;
-        evicted.lineCount = victim->lineCount;
-        evicted.memCtrl = victim->memCtrl;
-        stats_.lineCountSum += victim->lineCount;
-        ++stats_.lineCountSamples;
-        switch (victim->lineCount) {
-          case 0:  ++stats_.evictedEmpty; break;
-          case 1:  ++stats_.evictedOneLine; break;
-          case 2:  ++stats_.evictedTwoLines; break;
-          default: ++stats_.evictedMoreLines; break;
+        if (any_lru == ways_ ||
+            e.lastUse < entries_[base + any_lru].lastUse) {
+            any_lru = w;
         }
-        evictedLines_.record(victim->lineCount);
-        lifetime_.record(static_cast<double>(now - victim->allocTick));
-        CGCT_TRACE(trace_, rcaEvict(now, traceCpu_, victim->regionAddr,
-                                    victim->state, victim->lineCount));
+    }
+    if (victim == ways_)
+        victim = (favorEmpty_ && empty_lru != ways_) ? empty_lru : any_lru;
+
+    RegionEntry &entry = entries_[base + victim];
+    if ((occ >> victim) & 1) {
+        if (entry.valid()) {
+            evicted.valid = true;
+            evicted.regionAddr = entry.regionAddr;
+            evicted.state = entry.state;
+            evicted.lineCount = entry.lineCount;
+            evicted.memCtrl = entry.memCtrl;
+            stats_.lineCountSum += entry.lineCount;
+            ++stats_.lineCountSamples;
+            switch (entry.lineCount) {
+              case 0:  ++stats_.evictedEmpty; break;
+              case 1:  ++stats_.evictedOneLine; break;
+              case 2:  ++stats_.evictedTwoLines; break;
+              default: ++stats_.evictedMoreLines; break;
+            }
+            evictedLines_.record(entry.lineCount);
+            lifetime_.record(static_cast<double>(now - entry.allocTick));
+            CGCT_TRACE(trace_, rcaEvict(now, traceCpu_, entry.regionAddr,
+                                        entry.state, entry.lineCount));
+        }
+    } else {
+        occupied_[set] |= std::uint64_t{1} << victim;
+        ++numValid_;
     }
 
-    *victim = RegionEntry{};
-    victim->regionAddr = region;
-    victim->lastUse = now;
-    victim->allocTick = now;
+    tags_[base + victim] = tag;
+    mruWay_[set] = static_cast<std::uint8_t>(victim);
+    entry = RegionEntry{};
+    entry.regionAddr = tag << regionShift_;
+    entry.lastUse = now;
+    entry.allocTick = now;
     ++stats_.allocations;
-    return victim;
+    return &entry;
 }
 
 void
 RegionCoherenceArray::invalidate(Addr addr)
 {
-    const Addr region = regionAlign(addr);
-    RegionEntry *base = setBase(setIndex(addr));
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid() && base[w].regionAddr == region) {
-            base[w] = RegionEntry{};
-            return;
+    const Addr tag = addr >> regionShift_;
+    const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+    const unsigned w = scanSet(set, tag);
+    if (w == ways_)
+        return;
+    entries_[set * ways_ + w] = RegionEntry{};
+    occupied_[set] &= ~(std::uint64_t{1} << w);
+    --numValid_;
+}
+
+void
+RegionCoherenceArray::forEachValidEntry(
+    FunctionRef<void(const RegionEntry &)> fn) const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        std::uint64_t occ = occupied_[set];
+        const std::size_t base = set * ways_;
+        while (occ) {
+            const unsigned w =
+                static_cast<unsigned>(std::countr_zero(occ));
+            occ &= occ - 1;
+            const RegionEntry &e = entries_[base + w];
+            if (e.valid())
+                fn(e);
         }
     }
 }
@@ -132,11 +197,15 @@ RegionCoherenceArray::invalidate(Addr addr)
 std::uint64_t
 RegionCoherenceArray::countValid() const
 {
-    std::uint64_t n = 0;
+#ifndef NDEBUG
+    std::uint64_t scan = 0;
     for (const auto &e : entries_)
         if (e.valid())
-            ++n;
-    return n;
+            ++scan;
+    assert(scan == numValid_ &&
+           "RCA: incremental valid counter out of sync");
+#endif
+    return numValid_;
 }
 
 void
@@ -144,6 +213,11 @@ RegionCoherenceArray::reset()
 {
     for (auto &e : entries_)
         e = RegionEntry{};
+    for (auto &occ : occupied_)
+        occ = 0;
+    for (auto &hint : mruWay_)
+        hint = 0;
+    numValid_ = 0;
 }
 
 void

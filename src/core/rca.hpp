@@ -10,6 +10,15 @@
  * count — so that evicting a region rarely forces cache-line evictions to
  * preserve inclusion. The paper reports 65.1% of evicted regions empty
  * with this policy at 512 B regions.
+ *
+ * Storage is split structure-of-arrays exactly like CacheArray (see
+ * cache/cache_array.hpp): packed per-set tags, a per-set occupancy
+ * bitmask scanned branch-free, a per-set MRU way hint, and a parallel
+ * RegionEntry metadata array touched only on hit. Entry pointers are
+ * stable until invalidation/reallocation. Lookups confirm
+ * `state != Invalid` on a tag match so the allocate()-to-state-set
+ * window (during which the controller runs inclusion flushes) reads as
+ * a miss, matching the previous array-of-structs behavior.
  */
 
 #pragma once
@@ -132,32 +141,33 @@ class RegionCoherenceArray
     }
 
     /** Visit every valid entry (non-owning visitor; see FunctionRef). */
-    void
-    forEachValidEntry(FunctionRef<void(const RegionEntry &)> fn) const
-    {
-        for (const auto &e : entries_)
-            if (e.valid())
-                fn(e);
-    }
+    void forEachValidEntry(FunctionRef<void(const RegionEntry &)> fn) const;
 
-    /** Count valid entries (linear scan; tests/stats only). */
+    /** Count valid entries (O(1): maintained incrementally). */
     std::uint64_t countValid() const;
 
     void reset();
 
   private:
     std::uint64_t setIndex(Addr addr) const;
-    RegionEntry *setBase(std::uint64_t set)
-    {
-        return &entries_[set * ways_];
-    }
+    /** Tag-match scan of one set; returns the way or ways_ on miss. */
+    unsigned scanSet(std::size_t set, Addr tag) const;
 
     std::uint64_t sets_;
     unsigned ways_;
     std::uint64_t regionBytes_;
     unsigned regionShift_;
     bool favorEmpty_;
+    /** Packed tags (`regionAddr >> regionShift_`), set-major. */
+    std::vector<Addr> tags_;
+    /** Per-set tag-occupancy bitmask (bit w = way w holds a tag). */
+    std::vector<std::uint64_t> occupied_;
+    /** Per-set most-recently-hit way hint. */
+    std::vector<std::uint8_t> mruWay_;
+    /** Entry metadata, parallel to tags_; touched only on hit. */
     std::vector<RegionEntry> entries_;
+    /** Occupied-entry count, maintained incrementally. */
+    std::uint64_t numValid_ = 0;
     Stats stats_;
     /** Lines cached at eviction: one bucket per count, 0..7, overflow. */
     Histogram evictedLines_{1, 8};

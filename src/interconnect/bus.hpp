@@ -61,10 +61,11 @@ class Bus
   public:
     /**
      * Inline capture capacity of a snoop-response continuation: sized for
-     * the node's fattest continuation (request descriptor + completion
-     * std::function + scalars) with no heap fallback.
+     * the node's continuation (node pointer + request descriptor + issue
+     * tick; the completion context itself lives in the requester's MSHR
+     * slot) with no heap fallback.
      */
-    static constexpr std::size_t kResponseFnCapacity = 104;
+    static constexpr std::size_t kResponseFnCapacity = 48;
 
     /**
      * Called with the aggregated response when the snoop resolves.

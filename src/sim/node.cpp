@@ -1,6 +1,7 @@
 #include "sim/node.hpp"
 
 #include <string>
+#include <unordered_map>
 
 #include "common/log.hpp"
 #include "sim/invariants.hpp"
@@ -24,7 +25,8 @@ Node::Node(CpuId cpu, const SystemConfig &config, EventQueue &eq, Bus &bus,
       tracker_(std::move(tracker)),
       l1i_("l1i", config.l1i), l1d_("l1d", config.l1d),
       l2_("l2", config.l2), mshr_(config.core.maxOutstandingMisses),
-      prefetcher_(config.prefetch, config.l2.lineBytes)
+      prefetcher_(config.prefetch, config.l2.lineBytes),
+      mshrCtx_(config.core.maxOutstandingMisses)
 {
     if (tracker_) {
         tracker_->setFlushHandler(
@@ -36,7 +38,7 @@ Node::Node(CpuId cpu, const SystemConfig &config, EventQueue &eq, Bus &bus,
 
 bool
 Node::access(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
-             CompletionFn done)
+             CompletionFn &&done)
 {
     switch (kind) {
       case CpuOpKind::Ifetch:
@@ -81,7 +83,7 @@ Node::access(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
 
 bool
 Node::accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
-               CompletionFn done)
+               CompletionFn &&done)
 {
     // The snoops this node receives occupy its L2 tag port; local
     // accesses wait behind them (the contention CGCT relieves).
@@ -96,12 +98,9 @@ Node::accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
     // to resolve, then replay the access (it usually hits afterwards).
     if (mshr_.contains(line_addr)) {
         mshr_.promoteToDemand(line_addr);
-        fillWaiters_[line_addr].push_back(
-            [this, kind, addr, done = std::move(done)](Tick ready) {
-                Tick r;
-                if (access(kind, addr, ready, r, done))
-                    done(r);
-            });
+        waiterPool_.push(waiterListFor(line_addr),
+                         Waiter{std::move(done), addr, kind,
+                                /*fill=*/false, /*replay=*/true});
         return false;
     }
 
@@ -127,11 +126,8 @@ Node::accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
                                ? RequestType::Ifetch
                                : RequestType::Read,
                            line_addr, now,
-                           [this, kind, addr,
-                            done = std::move(done)](Tick ready) {
-                               fillL1(kind, addr, ready, ready);
-                               done(ready);
-                           },
+                           Completion{std::move(done), addr, kind,
+                                      /*fill=*/true},
                            /*is_prefetch=*/false);
         return false;
 
@@ -145,21 +141,15 @@ Node::accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
             }
             // Shared or Owned: upgrade to a modifiable copy.
             issueSystemRequest(RequestType::Upgrade, line_addr, now,
-                               [this, kind, addr,
-                                done = std::move(done)](Tick ready) {
-                                   fillL1(kind, addr, ready, ready);
-                                   done(ready);
-                               },
+                               Completion{std::move(done), addr, kind,
+                                          /*fill=*/true},
                                /*is_prefetch=*/false);
             return false;
         }
         ++stats_.demandMisses;
         issueSystemRequest(RequestType::ReadExclusive, line_addr, now,
-                           [this, kind, addr,
-                            done = std::move(done)](Tick ready) {
-                               fillL1(kind, addr, ready, ready);
-                               done(ready);
-                           },
+                           Completion{std::move(done), addr, kind,
+                                      /*fill=*/true},
                            /*is_prefetch=*/false);
         return false;
 
@@ -172,17 +162,23 @@ Node::accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
             return true;
         }
         issueSystemRequest(RequestType::Dcbz, line_addr, now,
-                           std::move(done), /*is_prefetch=*/false);
+                           Completion{std::move(done), addr, kind,
+                                      /*fill=*/false},
+                           /*is_prefetch=*/false);
         return false;
 
       case CpuOpKind::Dcbf:
         issueSystemRequest(RequestType::Dcbf, line_addr, now,
-                           std::move(done), /*is_prefetch=*/false);
+                           Completion{std::move(done), addr, kind,
+                                      /*fill=*/false},
+                           /*is_prefetch=*/false);
         return false;
 
       case CpuOpKind::Dcbi:
         issueSystemRequest(RequestType::Dcbi, line_addr, now,
-                           std::move(done), /*is_prefetch=*/false);
+                           Completion{std::move(done), addr, kind,
+                                      /*fill=*/false},
+                           /*is_prefetch=*/false);
         return false;
     }
     panic("Node::accessL2: unknown op kind");
@@ -190,7 +186,7 @@ Node::accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
 
 void
 Node::issueSystemRequest(RequestType type, Addr line_addr, Tick now,
-                         CompletionFn done, bool is_prefetch)
+                         Completion &&c, bool is_prefetch)
 {
     const bool needs_mshr = type != RequestType::Writeback;
     if (needs_mshr) {
@@ -204,30 +200,30 @@ Node::issueSystemRequest(RequestType type, Addr line_addr, Tick now,
         if (mshr_.full()) {
             if (is_prefetch)
                 return; // Prefetches never queue for MSHRs.
-            pendingMisses_.push_back(
-                PendingMiss{type, line_addr, std::move(done), is_prefetch});
+            pendingPool_.push(pendingMisses_,
+                              PendingMiss{type, line_addr, std::move(c),
+                                          is_prefetch});
             return;
         }
-        mshr_.allocate(line_addr, is_prefetch);
+        const std::uint32_t slot = mshr_.allocate(line_addr, is_prefetch);
+        mshrCtx_[slot] = std::move(c);
     }
-    dispatchSystemRequest(type, line_addr, now, std::move(done),
-                          is_prefetch);
+    dispatchSystemRequest(type, line_addr, now, is_prefetch);
 }
 
 void
 Node::dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
-                            CompletionFn done, bool is_prefetch)
+                            bool is_prefetch)
 {
     // Merge with an in-flight region acquisition: the first broadcast to
     // an Invalid region fetches the region snoop response; later requests
-    // to the same region wait for it rather than broadcasting too.
+    // to the same region wait for it rather than broadcasting too. The
+    // waiter's Completion stays in its MSHR slot.
     if (tracker_ && type != RequestType::Writeback) {
         const Addr region = alignDown(line_addr, config_.cgct.regionBytes);
-        auto it = pendingRegionAcq_.find(region);
-        if (it != pendingRegionAcq_.end()) {
-            it->second.push_back(PendingMiss{type, line_addr,
-                                             std::move(done), is_prefetch,
-                                             now});
+        if (auto *list = pendingRegionAcq_.find(region)) {
+            regionWaiterPool_.push(
+                *list, RegionWaiter{type, line_addr, is_prefetch, now});
             return;
         }
     }
@@ -245,9 +241,8 @@ Node::dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
         route.kind == RouteKind::Broadcast &&
         tracker_->peekState(line_addr) == RegionState::Invalid) {
         // This broadcast acquires the region; queue followers behind it.
-        pendingRegionAcq_.emplace(
-            alignDown(line_addr, config_.cgct.regionBytes),
-            std::vector<PendingMiss>{});
+        pendingRegionAcq_.insert(
+            alignDown(line_addr, config_.cgct.regionBytes));
     }
 
     switch (route.kind) {
@@ -263,18 +258,15 @@ Node::dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
         // clock may be ahead of global event time, so enter the bus then.
         const Tick when = std::max(now, eq_.now());
         eq_.schedule(when,
-                     [this, req, issued = now, done = std::move(done),
-                      is_prefetch]() mutable {
+                     [this, req, issued = now] {
                          bus_.broadcast(
                              req,
-                             [this, req, issued, done = std::move(done),
-                              is_prefetch](const SnoopResponse &resp,
-                                           Tick data_ready) {
+                             [this, req, issued](const SnoopResponse &resp,
+                                                 Tick data_ready) {
                                  handleBroadcastResponse(req.type,
                                                          req.lineAddr, resp,
-                                                         data_ready, done,
-                                                         is_prefetch);
-                                 if (!is_prefetch &&
+                                                         data_ready);
+                                 if (!req.isPrefetch &&
                                      req.type != RequestType::Writeback)
                                      noteMissLatency(issued, data_ready);
                              });
@@ -292,21 +284,21 @@ Node::dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
             // rely on the fabric to route the packet.
             mc = map_.controllerOf(line_addr);
         }
-        issueDirect(type, line_addr, mc, now, std::move(done), is_prefetch);
+        issueDirect(type, line_addr, mc, now, is_prefetch);
         break;
       }
 
       case RouteKind::LocalComplete:
         ++stats_.localCompletes;
         ++stats_.localByCat[cat];
-        completeLocally(type, line_addr, now, std::move(done));
+        completeLocally(type, line_addr, now);
         break;
     }
 }
 
 void
 Node::issueDirect(RequestType type, Addr line_addr, MemCtrlId mc, Tick now,
-                  CompletionFn done, bool is_prefetch)
+                  bool is_prefetch)
 {
     const Distance dist = map_.distanceToCtrl(cpu_, mc);
     MemoryController *ctrl = memCtrls_[static_cast<unsigned>(mc)];
@@ -314,8 +306,6 @@ Node::issueDirect(RequestType type, Addr line_addr, MemCtrlId mc, Tick now,
 
     if (type == RequestType::Writeback) {
         ctrl->acceptWriteback(arrival);
-        if (done)
-            done(now);
         return;
     }
 
@@ -342,27 +332,19 @@ Node::issueDirect(RequestType type, Addr line_addr, MemCtrlId mc, Tick now,
     // Backdated dispatches (speculative fetches resolved by a region
     // acquisition) may complete logically in the past; deliver them now.
     eq_.schedule(std::max(data_ready, eq_.now()),
-                 [this, line_addr, issued = now, is_prefetch,
-                  done = std::move(done)] {
+                 [this, line_addr, issued = now, is_prefetch] {
+                     Completion c = grabMshrCtx(line_addr);
                      releaseMshr(line_addr);
-                     auto waiters_it = fillWaiters_.find(line_addr);
-                     if (waiters_it != fillWaiters_.end()) {
-                         auto waiters = std::move(waiters_it->second);
-                         fillWaiters_.erase(waiters_it);
-                         for (auto &w : waiters)
-                             w(eq_.now());
-                     }
+                     drainFillWaiters(line_addr, eq_.now());
                      if (!is_prefetch)
                          noteMissLatency(issued, eq_.now());
-                     if (done)
-                         done(eq_.now());
+                     runCompletion(c, eq_.now());
                  },
                  EventPriority::Data);
 }
 
 void
-Node::completeLocally(RequestType type, Addr line_addr, Tick now,
-                      CompletionFn done)
+Node::completeLocally(RequestType type, Addr line_addr, Tick now)
 {
     tracker_->onLocalComplete(type, line_addr, now);
     const Tick ready = now + l2_.latency();
@@ -428,21 +410,23 @@ Node::completeLocally(RequestType type, Addr line_addr, Tick now,
     if (checker_)
         checker_->onTransition(line_addr, "local_complete");
 
+    Completion c = grabMshrCtx(line_addr);
     releaseMshr(line_addr);
-    if (done) {
+    if (c.done || c.fill) {
         // Defer the completion so callers never observe their callback
         // firing inside the access() call itself. Backdated dispatches
         // may have a logical completion in the past; deliver them now.
         eq_.schedule(std::max(ready, eq_.now()),
-                     [done = std::move(done), ready] { done(ready); },
+                     [this, c = std::move(c), ready]() mutable {
+                         runCompletion(c, ready);
+                     },
                      EventPriority::Data);
     }
 }
 
 void
 Node::handleBroadcastResponse(RequestType type, Addr line_addr,
-                              const SnoopResponse &resp, Tick data_ready,
-                              CompletionFn done, bool is_prefetch)
+                              const SnoopResponse &resp, Tick data_ready)
 {
     const Tick now = eq_.now();
     const LineState granted = grantedState(type, resp.line.anyCopy);
@@ -458,19 +442,18 @@ Node::handleBroadcastResponse(RequestType type, Addr line_addr,
     // fresh region state (usually direct or local now).
     if (tracker_ && type != RequestType::Writeback) {
         const Addr region = alignDown(line_addr, config_.cgct.regionBytes);
-        auto it = pendingRegionAcq_.find(region);
-        if (it != pendingRegionAcq_.end()) {
-            std::vector<PendingMiss> waiting = std::move(it->second);
-            pendingRegionAcq_.erase(it);
+        PoolFifo<RegionWaiter>::List waiting;
+        if (pendingRegionAcq_.take(region, waiting)) {
             drainingRegion_ = true;
-            for (auto &p : waiting) {
+            RegionWaiter p;
+            while (regionWaiterPool_.pop(waiting, p)) {
                 // Requests that can now go direct had their memory fetch
                 // started speculatively alongside the acquisition
                 // broadcast, so they dispatch with their original
                 // timestamp; requests that must broadcast pay full price
                 // from now (the bus schedules them at >= now anyway).
                 dispatchSystemRequest(p.type, p.lineAddr, p.queuedAt,
-                                      std::move(p.done), p.isPrefetch);
+                                      p.isPrefetch);
             }
             drainingRegion_ = false;
         }
@@ -535,31 +518,81 @@ Node::handleBroadcastResponse(RequestType type, Addr line_addr,
     }
 
     const bool needs_mshr = type != RequestType::Writeback;
-    auto finish = [this, line_addr, needs_mshr, is_prefetch,
-                   done = std::move(done)](Tick ready) {
-        if (needs_mshr)
-            releaseMshr(line_addr);
-        auto waiters_it = fillWaiters_.find(line_addr);
-        if (waiters_it != fillWaiters_.end()) {
-            auto waiters = std::move(waiters_it->second);
-            fillWaiters_.erase(waiters_it);
-            for (auto &w : waiters)
-                w(ready);
-        }
-        (void)is_prefetch;
-        if (done)
-            done(ready);
-    };
-
     if (data_ready > now) {
         eq_.schedule(data_ready,
-                     [finish = std::move(finish), data_ready] {
-                         finish(data_ready);
+                     [this, line_addr, needs_mshr, data_ready] {
+                         finishRequest(line_addr, needs_mshr, data_ready);
                      },
                      EventPriority::Data);
     } else {
-        finish(now);
+        finishRequest(line_addr, needs_mshr, now);
     }
+}
+
+Node::Completion
+Node::grabMshrCtx(Addr line_addr)
+{
+    Completion c;
+    const std::uint32_t slot = mshr_.slotOf(line_addr);
+    if (slot != MshrFile::kNoSlot) {
+        c = std::move(mshrCtx_[slot]);
+        mshrCtx_[slot] = Completion{};
+    }
+    return c;
+}
+
+void
+Node::runCompletion(Completion &c, Tick ready)
+{
+    if (c.fill)
+        fillL1(c.kind, c.addr, ready, ready);
+    if (c.done)
+        c.done(ready);
+}
+
+void
+Node::finishRequest(Addr line_addr, bool needs_mshr, Tick ready)
+{
+    Completion c;
+    if (needs_mshr) {
+        // Grab the context before releasing: the release may start a
+        // queued miss that claims (and overwrites) this very slot.
+        c = grabMshrCtx(line_addr);
+        releaseMshr(line_addr);
+    }
+    drainFillWaiters(line_addr, ready);
+    runCompletion(c, ready);
+}
+
+void
+Node::drainFillWaiters(Addr line_addr, Tick ready)
+{
+    PoolFifo<Waiter>::List list;
+    if (!fillWaiters_.take(line_addr, list))
+        return;
+    // The list was moved out of the table, so re-registrations from the
+    // replays below land on a fresh list for the next fill.
+    Waiter w;
+    while (waiterPool_.pop(list, w)) {
+        if (w.replay) {
+            Tick r;
+            if (access(w.kind, w.addr, ready, r, std::move(w.done)))
+                w.done(r);
+        } else {
+            if (w.fill)
+                fillL1(w.kind, w.addr, ready, ready);
+            if (w.done)
+                w.done(ready);
+        }
+    }
+}
+
+PoolFifo<Node::Waiter>::List &
+Node::waiterListFor(Addr line_addr)
+{
+    if (auto *list = fillWaiters_.find(line_addr))
+        return *list;
+    return fillWaiters_.insert(line_addr);
 }
 
 void
@@ -624,8 +657,8 @@ void
 Node::issueWriteback(Addr line_addr, Tick now)
 {
     ++stats_.writebacksIssued;
-    issueSystemRequest(RequestType::Writeback, line_addr, now, nullptr,
-                       /*is_prefetch=*/false);
+    issueSystemRequest(RequestType::Writeback, line_addr, now,
+                       Completion{}, /*is_prefetch=*/false);
 }
 
 void
@@ -633,13 +666,13 @@ Node::flushRegion(Addr region_addr, std::uint64_t region_bytes,
                   MemCtrlId mc, Tick now)
 {
     // Collect the region's lines first: invalidation mutates the array.
-    std::vector<std::pair<Addr, LineState>> lines;
+    flushScratch_.clear();
     l2_.array().forEachLineInRegion(region_addr, region_bytes,
-                                    [&lines](CacheLine &line) {
-                                        lines.emplace_back(line.lineAddr,
-                                                           line.state);
+                                    [this](CacheLine &line) {
+                                        flushScratch_.emplace_back(
+                                            line.lineAddr, line.state);
                                     });
-    for (const auto &[addr, state] : lines) {
+    for (const auto &[addr, state] : flushScratch_) {
         l1d_.invalidateLine(addr);
         l1i_.invalidateLine(addr);
         l2_.invalidateLine(addr);
@@ -682,7 +715,8 @@ Node::maybePrefetch(Addr line_addr, bool is_store, bool was_miss, Tick now)
         ++stats_.prefetchesIssued;
         issueSystemRequest(c.exclusive ? RequestType::PrefetchExclusive
                                        : RequestType::Prefetch,
-                           c.lineAddr, now, nullptr, /*is_prefetch=*/true);
+                           c.lineAddr, now, Completion{},
+                           /*is_prefetch=*/true);
     }
 }
 
@@ -691,9 +725,8 @@ Node::releaseMshr(Addr line_addr)
 {
     if (!mshr_.release(line_addr))
         return;
-    while (!pendingMisses_.empty() && !mshr_.full()) {
-        PendingMiss p = std::move(pendingMisses_.front());
-        pendingMisses_.pop_front();
+    PendingMiss p;
+    while (!mshr_.full() && pendingPool_.pop(pendingMisses_, p)) {
         const Tick now = eq_.now();
         // The world may have changed while the miss was queued.
         if (CacheLine *line = l2_.peekMutable(p.lineAddr)) {
@@ -701,22 +734,21 @@ Node::releaseMshr(Addr line_addr)
             if (!store_like || isWritable(line->state)) {
                 if (store_like)
                     line->state = LineState::Modified;
-                if (p.done)
-                    p.done(std::max(now + l2_.latency(), line->readyTick));
+                runCompletion(p.c, std::max(now + l2_.latency(),
+                                            line->readyTick));
                 continue;
             }
         }
         if (mshr_.contains(p.lineAddr)) {
-            fillWaiters_[p.lineAddr].push_back(
-                [done = std::move(p.done)](Tick ready) {
-                    if (done)
-                        done(ready);
-                });
+            waiterPool_.push(waiterListFor(p.lineAddr),
+                             Waiter{std::move(p.c.done), p.c.addr,
+                                    p.c.kind, p.c.fill,
+                                    /*replay=*/false});
             continue;
         }
-        mshr_.allocate(p.lineAddr, p.isPrefetch);
-        dispatchSystemRequest(p.type, p.lineAddr, now, std::move(p.done),
-                              p.isPrefetch);
+        const std::uint32_t slot = mshr_.allocate(p.lineAddr, p.isPrefetch);
+        mshrCtx_[slot] = std::move(p.c);
+        dispatchSystemRequest(p.type, p.lineAddr, now, p.isPrefetch);
     }
 }
 

@@ -10,20 +10,30 @@
  * arrival only affects timing (readyTick on the line). Direct requests
  * apply their state changes at issue, which is safe because the region
  * protocol guarantees no other processor holds a conflicting copy.
+ *
+ * Request-path storage: a miss's completion context — the callback plus
+ * what fillL1 needs — lives in a per-MSHR-slot Completion struct
+ * (mshrCtx_) instead of being captured inside nested heap-allocated
+ * closures; waiter queues (fill merges, the MSHR-full backlog, pending
+ * region acquisitions) are pooled FIFOs keyed through open-addressed
+ * tables. After the pools reach their high-water marks the request path
+ * performs no allocations.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <unordered_map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/mshr.hpp"
+#include "common/addr_table.hpp"
 #include "common/config.hpp"
+#include "common/inline_function.hpp"
+#include "common/pool_fifo.hpp"
 #include "common/stats.hpp"
 #include "core/cgct_controller.hpp"
 #include "event/event_queue.hpp"
@@ -42,8 +52,14 @@ class TraceSink;
 class Node : public SnoopClient
 {
   public:
-    /** Completion callback: @p ready is when the op's data is usable. */
-    using CompletionFn = std::function<void(Tick ready)>;
+    /**
+     * Completion callback: @p ready is when the op's data is usable.
+     * Move-only with inline storage (see InlineFunction); capacity covers
+     * the core model's captures with room to spare.
+     */
+    static constexpr std::size_t kCompletionCapacity = 48;
+    using CompletionFn = InlineFunction<void(Tick ready),
+                                        kCompletionCapacity>;
 
     Node(CpuId cpu, const SystemConfig &config, EventQueue &eq, Bus &bus,
          DataNetwork &data_net, const AddressMap &map,
@@ -54,9 +70,11 @@ class Node : public SnoopClient
      * Perform a processor memory operation at local time @p now.
      * @return true if resolved synchronously (@p ready_out is set);
      *         false if @p done will be invoked when the op resolves.
+     * @p done is consumed only on the asynchronous (false) path; a
+     * synchronous return leaves the caller's callable untouched.
      */
     bool access(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
-                CompletionFn done);
+                CompletionFn &&done);
 
     /** True while another outstanding miss can be accepted. */
     bool canAcceptMiss() const { return !mshr_.full(); }
@@ -140,30 +158,69 @@ class Node : public SnoopClient
     std::string checkInvariants() const;
 
   private:
+    /**
+     * What happens when a request resolves: refresh the L1 (for demand
+     * fills) and invoke the caller's callback. One per outstanding miss,
+     * stored in mshrCtx_[slot] — the flattened form of the closures the
+     * request path used to nest.
+     */
+    struct Completion {
+        CompletionFn done;
+        Addr addr = 0;
+        CpuOpKind kind = CpuOpKind::Load;
+        bool fill = false;               ///< Run fillL1 before done.
+    };
+
+    /** A request merged onto an in-flight fill for the same line. */
+    struct Waiter {
+        CompletionFn done;
+        Addr addr = 0;
+        CpuOpKind kind = CpuOpKind::Load;
+        bool fill = false;
+        bool replay = false;             ///< Re-run access() on wake.
+    };
+
+    /** A request postponed because the MSHR file was full. */
+    struct PendingMiss {
+        RequestType type = RequestType::Read;
+        Addr lineAddr = 0;
+        Completion c;
+        bool isPrefetch = false;
+        Tick queuedAt = 0;
+    };
+
+    /** A request waiting behind an in-flight region acquisition; its
+     *  Completion stays in the MSHR slot claimed before dispatch. */
+    struct RegionWaiter {
+        RequestType type = RequestType::Read;
+        Addr lineAddr = 0;
+        bool isPrefetch = false;
+        Tick queuedAt = 0;
+    };
+
     /** Handle an access that reached the L2. */
     bool accessL2(CpuOpKind kind, Addr addr, Tick now, Tick &ready_out,
-                  CompletionFn done);
+                  CompletionFn &&done);
 
     /** Issue (or queue) a request to the system. */
     void issueSystemRequest(RequestType type, Addr line_addr, Tick now,
-                            CompletionFn done, bool is_prefetch);
+                            Completion &&c, bool is_prefetch);
 
     /** The request, with an MSHR (if needed) already claimed. */
     void dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
-                               CompletionFn done, bool is_prefetch);
+                               bool is_prefetch);
 
     /** Handle a broadcast's snoop response (ordering-point event). */
     void handleBroadcastResponse(RequestType type, Addr line_addr,
-                                 const SnoopResponse &resp, Tick data_ready,
-                                 CompletionFn done, bool is_prefetch);
+                                 const SnoopResponse &resp,
+                                 Tick data_ready);
 
     /** Issue a direct-to-memory request (region permission held). */
     void issueDirect(RequestType type, Addr line_addr, MemCtrlId mc,
-                     Tick now, CompletionFn done, bool is_prefetch);
+                     Tick now, bool is_prefetch);
 
     /** Complete a request locally with no external request. */
-    void completeLocally(RequestType type, Addr line_addr, Tick now,
-                         CompletionFn done);
+    void completeLocally(RequestType type, Addr line_addr, Tick now);
 
     /** Install a line into the L2 (and bookkeeping around eviction). */
     void installL2Line(Addr line_addr, LineState state, Tick now,
@@ -189,6 +246,21 @@ class Node : public SnoopClient
     /** Release an MSHR and start a queued request if one is waiting. */
     void releaseMshr(Addr line_addr);
 
+    /** Move this line's Completion out of its MSHR slot (if any). */
+    Completion grabMshrCtx(Addr line_addr);
+
+    /** Run a Completion: optional L1 refresh, then the callback. */
+    void runCompletion(Completion &c, Tick ready);
+
+    /** Release + resolve: the common tail of broadcast completions. */
+    void finishRequest(Addr line_addr, bool needs_mshr, Tick ready);
+
+    /** Wake everything merged onto @p line_addr's fill. */
+    void drainFillWaiters(Addr line_addr, Tick ready);
+
+    /** The waiter list for @p line_addr, created if absent. */
+    PoolFifo<Waiter>::List &waiterListFor(Addr line_addr);
+
     /** Record a completed demand miss's latency. */
     void noteMissLatency(Tick issued, Tick ready);
 
@@ -207,29 +279,30 @@ class Node : public SnoopClient
     MshrFile mshr_;
     StreamPrefetcher prefetcher_;
 
+    /** Per-MSHR-slot completion context, indexed by MshrFile slot. */
+    std::vector<Completion> mshrCtx_;
+
     /** Waiters merged onto an in-flight fill, keyed by line address. */
-    std::unordered_map<Addr, std::vector<CompletionFn>> fillWaiters_;
+    AddrTable<PoolFifo<Waiter>::List> fillWaiters_;
+    PoolFifo<Waiter> waiterPool_;
 
     /** Requests postponed because the MSHR file was full. */
-    struct PendingMiss {
-        RequestType type;
-        Addr lineAddr;
-        CompletionFn done;
-        bool isPrefetch;
-        Tick queuedAt = 0;
-    };
-    std::deque<PendingMiss> pendingMisses_;
+    PoolFifo<PendingMiss>::List pendingMisses_;
+    PoolFifo<PendingMiss> pendingPool_;
 
     /**
      * Requests to a region whose first broadcast (the region acquisition)
      * is still in flight: they wait for the region snoop response instead
      * of broadcasting line by line. Keyed by region-aligned address.
      */
-    std::unordered_map<Addr, std::vector<PendingMiss>> pendingRegionAcq_;
+    AddrTable<PoolFifo<RegionWaiter>::List> pendingRegionAcq_;
+    PoolFifo<RegionWaiter> regionWaiterPool_;
     /** Suppress re-marking acquisitions while draining a region queue. */
     bool drainingRegion_ = false;
 
     std::vector<PrefetchCandidate> prefetchScratch_;
+    /** Region-flush collection scratch (invalidation mutates the array). */
+    std::vector<std::pair<Addr, LineState>> flushScratch_;
     /** L2 tag port busy (incoming snoops) until this tick. */
     Tick l2TagBusy_ = 0;
     Stats stats_;

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Byte-identity regression for the default sweep: the hot-path storage
+ * rewrite (SoA tag arrays, open-addressed MSHR, allocation-free request
+ * chain) must not change simulated behavior by even one bit. The full
+ * default matrix — every standard benchmark x regions {0,256,512,1024}
+ * x 3 seeds at 120000 ops — is run in process and its CSV hashed with a
+ * self-contained SHA-256; the digest must equal the recorded value in
+ * BENCH_sweep.json, at --jobs 1 and at --jobs 0 (hardware concurrency).
+ *
+ * Under sanitizers the full matrix is too slow, so those builds run a
+ * reduced matrix and assert jobs-count identity only (the full digest
+ * is asserted by the normal-build CI leg). Label: sanitize_hotpath.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "sim/sweep.hpp"
+#include "workload/benchmarks.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CGCT_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CGCT_SANITIZED 1
+#endif
+#endif
+#ifndef CGCT_SANITIZED
+#define CGCT_SANITIZED 0
+#endif
+
+namespace cgct {
+namespace {
+
+/** The digest recorded in BENCH_sweep.json (and docs/PERF.md). */
+constexpr const char *kDefaultSweepSha256 =
+    "a4fe05cba1939a49ca6e5f165c6df01b4b2d32cdfb1a80dc9d94d42f7950246e";
+
+// ---------------------------------------------------------------------
+// Minimal SHA-256 (FIPS 180-4), self-contained so the test needs no
+// external hashing dependency.
+// ---------------------------------------------------------------------
+
+struct Sha256 {
+    std::uint32_t h[8] = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u,
+                          0xa54ff53au, 0x510e527fu, 0x9b05688cu,
+                          0x1f83d9abu, 0x5be0cd19u};
+    unsigned char block[64];
+    std::size_t blockLen = 0;
+    std::uint64_t totalBits = 0;
+
+    static std::uint32_t
+    rotr(std::uint32_t x, unsigned n)
+    {
+        return (x >> n) | (x << (32 - n));
+    }
+
+    void
+    compress(const unsigned char *p)
+    {
+        static const std::uint32_t k[64] = {
+            0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u,
+            0x3956c25bu, 0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u,
+            0xd807aa98u, 0x12835b01u, 0x243185beu, 0x550c7dc3u,
+            0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u, 0xc19bf174u,
+            0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+            0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau,
+            0x983e5152u, 0xa831c66du, 0xb00327c8u, 0xbf597fc7u,
+            0xc6e00bf3u, 0xd5a79147u, 0x06ca6351u, 0x14292967u,
+            0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu, 0x53380d13u,
+            0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+            0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u,
+            0xd192e819u, 0xd6990624u, 0xf40e3585u, 0x106aa070u,
+            0x19a4c116u, 0x1e376c08u, 0x2748774cu, 0x34b0bcb5u,
+            0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu, 0x682e6ff3u,
+            0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+            0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+        std::uint32_t w[64];
+        for (unsigned i = 0; i < 16; ++i) {
+            w[i] = (std::uint32_t(p[4 * i]) << 24) |
+                   (std::uint32_t(p[4 * i + 1]) << 16) |
+                   (std::uint32_t(p[4 * i + 2]) << 8) |
+                   std::uint32_t(p[4 * i + 3]);
+        }
+        for (unsigned i = 16; i < 64; ++i) {
+            const std::uint32_t s0 = rotr(w[i - 15], 7) ^
+                                     rotr(w[i - 15], 18) ^
+                                     (w[i - 15] >> 3);
+            const std::uint32_t s1 = rotr(w[i - 2], 17) ^
+                                     rotr(w[i - 2], 19) ^
+                                     (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+
+        std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+        std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+        for (unsigned i = 0; i < 64; ++i) {
+            const std::uint32_t s1 =
+                rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+            const std::uint32_t ch = (e & f) ^ (~e & g);
+            const std::uint32_t t1 = hh + s1 + ch + k[i] + w[i];
+            const std::uint32_t s0 =
+                rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+            const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            const std::uint32_t t2 = s0 + maj;
+            hh = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+        h[5] += f;
+        h[6] += g;
+        h[7] += hh;
+    }
+
+    void
+    update(const void *data, std::size_t len)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        totalBits += std::uint64_t(len) * 8;
+        while (len > 0) {
+            const std::size_t n =
+                len < (64 - blockLen) ? len : (64 - blockLen);
+            std::memcpy(block + blockLen, p, n);
+            blockLen += n;
+            p += n;
+            len -= n;
+            if (blockLen == 64) {
+                compress(block);
+                blockLen = 0;
+            }
+        }
+    }
+
+    std::string
+    hexDigest()
+    {
+        const std::uint64_t bits = totalBits;
+        const unsigned char pad = 0x80;
+        update(&pad, 1);
+        const unsigned char zero = 0;
+        while (blockLen != 56)
+            update(&zero, 1);
+        unsigned char lenb[8];
+        for (unsigned i = 0; i < 8; ++i)
+            lenb[i] = static_cast<unsigned char>(bits >> (56 - 8 * i));
+        update(lenb, 8);
+
+        char out[65];
+        for (unsigned i = 0; i < 8; ++i)
+            std::snprintf(out + 8 * i, 9, "%08x", h[i]);
+        return std::string(out, 64);
+    }
+};
+
+std::string
+sha256Hex(const std::string &s)
+{
+    Sha256 ctx;
+    ctx.update(s.data(), s.size());
+    return ctx.hexDigest();
+}
+
+SweepSpec
+defaultSweepSpec()
+{
+    // Exactly what `cgct_sweep` with no arguments runs (tools/cgct_sweep).
+    SweepSpec spec;
+    for (const auto &p : standardBenchmarks())
+        spec.profiles.push_back(&p);
+    spec.regionSizes = {0, 256, 512, 1024};
+    spec.seedsPerCell = 3;
+    spec.baseSeed = 20050609;
+    spec.opts.opsPerCpu = 120000;
+    spec.opts.warmupOps = 120000 / 5;
+    spec.baseConfig = makeDefaultConfig();
+    return spec;
+}
+
+std::string
+runToCsv(const SweepSpec &spec, unsigned jobs)
+{
+    std::ostringstream os;
+    writeSweepCsvHeader(os);
+    SweepRunner runner(spec, jobs);
+    runner.run([&os](const SweepCell &, const RunResult &r) {
+        writeSweepCsvRow(os, r);
+    });
+    return os.str();
+}
+
+TEST(SweepIdentity, Sha256KnownAnswer)
+{
+    // FIPS 180-4 test vector: "abc".
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(SweepIdentity, DefaultSweepDigestAtJobs1)
+{
+    if (CGCT_SANITIZED)
+        GTEST_SKIP() << "full default sweep is too slow under "
+                        "sanitizers; the normal-build leg asserts the "
+                        "digest";
+    EXPECT_EQ(sha256Hex(runToCsv(defaultSweepSpec(), 1)),
+              kDefaultSweepSha256)
+        << "default sweep output changed — the hot-path rewrite must be "
+           "byte-identical (or the digest in BENCH_sweep.json needs a "
+           "deliberate, documented update)";
+}
+
+TEST(SweepIdentity, DefaultSweepDigestAtJobs0)
+{
+    if (CGCT_SANITIZED)
+        GTEST_SKIP() << "full default sweep is too slow under "
+                        "sanitizers; the normal-build leg asserts the "
+                        "digest";
+    EXPECT_EQ(sha256Hex(runToCsv(defaultSweepSpec(), 0)),
+              kDefaultSweepSha256)
+        << "default sweep output differs at hardware-concurrency jobs";
+}
+
+TEST(SweepIdentity, ReducedMatrixIdenticalAcrossJobs)
+{
+    // Cheap enough for sanitizer builds: identity across job counts on
+    // a 2-benchmark x 2-region x 2-seed matrix.
+    SweepSpec spec;
+    spec.profiles = {&benchmarkByName("ocean"),
+                     &benchmarkByName("tpc-w")};
+    spec.regionSizes = {0, 512};
+    spec.seedsPerCell = 2;
+    spec.baseSeed = 20050609;
+    spec.opts.opsPerCpu = 6000;
+    spec.opts.warmupOps = 1200;
+    spec.baseConfig = makeDefaultConfig();
+
+    const std::string serial = runToCsv(spec, 1);
+    EXPECT_EQ(serial, runToCsv(spec, 0));
+    EXPECT_EQ(serial, runToCsv(spec, 3));
+}
+
+} // namespace
+} // namespace cgct

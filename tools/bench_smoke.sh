@@ -1,27 +1,37 @@
 #!/usr/bin/env bash
-# bench_smoke.sh — CI smoke for the event-kernel perf gate.
+# bench_smoke.sh — CI smoke for the event-kernel and memory-system perf
+# gates.
 #
-#   tools/bench_smoke.sh <bench_event_queue-binary> [repo-root]
+#   tools/bench_smoke.sh <bench_event_queue-binary> [repo-root] \
+#                        [bench_memory_system-binary]
 #
 # 1. Runs bench_event_queue for a few iterations. The binary itself
 #    enforces the zero-allocation contract (it exits non-zero if the
 #    steady-state schedule/runOne loop touched the heap), so a pass here
 #    is the allocation gate, not just a liveness check.
 # 2. Validates the bench's JSON output against the expected schema.
-# 3. Validates the recorded repo baseline BENCH_kernel.json against its
-#    schema, so the committed perf record can't silently rot.
-# 4. Gates throughput: the fresh steady_events_per_sec must reach at
-#    least CGCT_BENCH_MIN_FRAC (default 0.65) of the recorded baseline's
-#    event_queue.steady_events_per_sec, so a perf regression in the
-#    event kernel fails CI instead of slipping by. The slack absorbs
+# 3. Validates the recorded repo baselines — BENCH_kernel.json and
+#    BENCH_sweep.json — against their schemas, so the committed perf
+#    records can't silently rot.
+# 4. Gates throughput: fresh numbers must reach a fraction of the
+#    recorded baselines — event_queue.steady_events_per_sec from
+#    BENCH_kernel.json at CGCT_BENCH_MIN_FRAC (default 0.65), and every
+#    memory_system.*_ops_per_sec from BENCH_sweep.json at
+#    CGCT_BENCH_MEM_MIN_FRAC (default 0.45; wider because that baseline
+#    is a quiet-machine full-length run) — so a perf regression in
+#    either hot path fails CI instead of slipping by. The slack absorbs
 #    machine-to-machine variance; tighten it on a quiet dedicated box.
+# 5. When the bench_memory_system binary is given, runs it too: its
+#    measured loops (SoA cache/RCA lookups, open-addressed MSHR churn,
+#    pooled waiter queues) enforce their own zero-allocation contract.
 #
 # Wired into ctest as the `bench_smoke` test (see tests/CMakeLists.txt).
 
 set -u
 
-bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root]}"
+bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root] [bench_memory_system-binary]}"
 root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+membench="${3:-}"
 
 if [ ! -x "$bench" ]; then
     echo "bench_smoke: bench binary not found: $bench" >&2
@@ -99,4 +109,60 @@ else
     echo "bench_smoke: python3 missing, skipping throughput gate" >&2
 fi
 
-echo "bench_smoke: OK — allocation gate passed, JSON schemas valid"
+# The recorded end-to-end sweep baseline (before/after wall clock, output
+# sha, and the memory-system microbench floors).
+sweep_baseline="$root/BENCH_sweep.json"
+if [ ! -f "$sweep_baseline" ]; then
+    echo "bench_smoke: $sweep_baseline is missing (record the sweep perf" \
+         "baseline; see docs/PERF.md)" >&2
+    exit 1
+fi
+json_check "$(cat "$sweep_baseline")" "BENCH_sweep.json" \
+    schema date build sweep memory_system || exit 1
+
+# Memory-system hot-path gate: run the bench (its loops enforce the
+# zero-allocation contract internally), validate the schema, and hold
+# every pattern's throughput to the recorded floor.
+if [ -n "$membench" ]; then
+    if [ ! -x "$membench" ]; then
+        echo "bench_smoke: bench_memory_system binary not found:" \
+             "$membench" >&2
+        exit 1
+    fi
+    mem_out="$("$membench" --ops 2000000)" || {
+        echo "bench_smoke: bench_memory_system failed" \
+             "(allocation gate?)" >&2
+        exit 1
+    }
+    json_check "$mem_out" "bench_memory_system output" \
+        schema ops cache_hit_ops_per_sec cache_hit_allocs \
+        cache_mix_ops_per_sec cache_mix_allocs rca_mix_ops_per_sec \
+        rca_mix_allocs mshr_churn_ops_per_sec mshr_churn_allocs || exit 1
+
+    # The memory-system baseline was recorded on a quiet machine at the
+    # full default op count; the CI run is short and may share the box,
+    # so its default slack is wider (override: CGCT_BENCH_MEM_MIN_FRAC).
+    mem_min_frac="${CGCT_BENCH_MEM_MIN_FRAC:-0.45}"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$sweep_baseline" "$mem_min_frac" <<PYEOF || exit 1
+import json, sys
+fresh = json.loads("""$mem_out""")
+ref = json.load(open(sys.argv[1]))["memory_system"]
+frac = float(sys.argv[2])
+for key, base in ref.items():
+    if not key.endswith("_ops_per_sec"):
+        continue
+    got = fresh[key]
+    floor = frac * base
+    if got < floor:
+        sys.exit(f"bench_smoke: {key} {got:.3g} is below {frac} x "
+                 f"baseline {base:.3g} (floor {floor:.3g}) — "
+                 f"memory-system perf regression?")
+    print(f"bench_smoke: {key} {got:.3g} >= {frac} x baseline {base:.3g}")
+PYEOF
+    else
+        echo "bench_smoke: python3 missing, skipping memory gate" >&2
+    fi
+fi
+
+echo "bench_smoke: OK — allocation gates passed, JSON schemas valid"

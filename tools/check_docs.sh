@@ -64,7 +64,10 @@ if [ ! -f "$perf_doc" ]; then
     fail=1
 else
     for token in bench_event_queue bench_sweep_scaling bench_smoke \
-                 CGCT_SANITIZE BENCH_kernel.json cgct_sweep --events; do
+                 CGCT_SANITIZE BENCH_kernel.json cgct_sweep --events \
+                 bench_memory_system BENCH_sweep.json \
+                 CGCT_BENCH_MIN_FRAC sanitize_hotpath \
+                 test_hotpath_differential test_sweep_identity; do
         if ! grep -q -- "$token" "$perf_doc"; then
             echo "check_docs: docs/PERF.md does not mention $token" >&2
             fail=1

@@ -1,5 +1,7 @@
 #include "cache/cache.hpp"
 
+#include "snapshot/serializer.hpp"
+
 namespace cgct {
 
 Cache::Cache(std::string name, const CacheParams &params)
@@ -55,6 +57,30 @@ Cache::missRatio() const
     return total ? static_cast<double>(stats_.misses) /
                        static_cast<double>(total)
                  : 0.0;
+}
+
+void
+Cache::serialize(Serializer &s) const
+{
+    array_.serialize(s);
+    s.u64(stats_.hits);
+    s.u64(stats_.misses);
+    s.u64(stats_.fills);
+    s.u64(stats_.evictionsClean);
+    s.u64(stats_.evictionsDirty);
+    s.u64(stats_.invalidations);
+}
+
+void
+Cache::deserialize(SectionReader &r)
+{
+    array_.deserialize(r);
+    stats_.hits = r.u64();
+    stats_.misses = r.u64();
+    stats_.fills = r.u64();
+    stats_.evictionsClean = r.u64();
+    stats_.evictionsDirty = r.u64();
+    stats_.invalidations = r.u64();
 }
 
 void

@@ -72,6 +72,10 @@ class Cache
     void addStats(StatGroup &group) const;
     void resetStats() { stats_ = Stats{}; }
 
+    /** Checkpoint support: the line array plus the statistics block. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     std::string name_;
     CacheParams params_;

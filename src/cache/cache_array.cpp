@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -204,6 +205,55 @@ CacheArray::countValid() const
            "CacheArray: incremental valid counter out of sync");
 #endif
     return numValid_;
+}
+
+void
+CacheArray::serialize(Serializer &s) const
+{
+    s.u64(sets_);
+    s.u32(ways_);
+    s.u32(lineBytes_);
+    for (Addr t : tags_)
+        s.u64(t);
+    for (std::uint64_t occ : occupied_)
+        s.u64(occ);
+    for (std::uint8_t hint : mruWay_)
+        s.u8(hint);
+    for (const CacheLine &line : meta_) {
+        s.u64(line.lineAddr);
+        s.u8(static_cast<std::uint8_t>(line.state));
+        s.u64(line.readyTick);
+        s.u64(line.lastUse);
+    }
+    s.u64(numValid_);
+}
+
+void
+CacheArray::deserialize(SectionReader &r)
+{
+    const std::uint64_t sets = r.u64();
+    const std::uint32_t ways = r.u32();
+    const std::uint32_t line_bytes = r.u32();
+    if (sets != sets_ || ways != ways_ || line_bytes != lineBytes_)
+        fatal("snapshot section '%s': cache geometry mismatch "
+              "(%llu sets x %u ways x %u B stored vs "
+              "%llu x %u x %u here)",
+              r.name().c_str(), static_cast<unsigned long long>(sets),
+              ways, line_bytes, static_cast<unsigned long long>(sets_),
+              ways_, lineBytes_);
+    for (Addr &t : tags_)
+        t = r.u64();
+    for (std::uint64_t &occ : occupied_)
+        occ = r.u64();
+    for (std::uint8_t &hint : mruWay_)
+        hint = r.u8();
+    for (CacheLine &line : meta_) {
+        line.lineAddr = r.u64();
+        line.state = static_cast<LineState>(r.u8());
+        line.readyTick = r.u64();
+        line.lastUse = r.u64();
+    }
+    numValid_ = r.u64();
 }
 
 void

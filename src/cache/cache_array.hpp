@@ -35,6 +35,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /** Metadata for one cache line frame. */
 struct CacheLine {
     Addr lineAddr = 0;                     ///< Line-aligned address.
@@ -117,6 +120,14 @@ class CacheArray
 
     /** Invalidate everything (between simulation phases). */
     void reset();
+
+    /**
+     * Checkpoint support: saves/restores tags, occupancy, MRU hints and
+     * line metadata. The geometry (sets/ways/line size) is verified on
+     * restore; mismatches fatal() with the section name.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     std::uint64_t setIndex(Addr addr) const;

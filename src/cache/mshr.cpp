@@ -1,6 +1,7 @@
 #include "cache/mshr.hpp"
 
 #include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -40,6 +41,31 @@ MshrFile::release(Addr line_addr)
     freeSlots_.push_back(slot);
     --inFlight_;
     return true;
+}
+
+void
+MshrFile::serialize(Serializer &s) const
+{
+    if (inFlight_ != 0)
+        panic("MshrFile: serializing with %zu misses in flight — "
+              "snapshots require a drained (quiescent) system",
+              inFlight_);
+    s.u32(capacity_);
+    for (std::uint32_t slot : freeSlots_)
+        s.u32(slot);
+}
+
+void
+MshrFile::deserialize(SectionReader &r)
+{
+    const std::uint32_t capacity = r.u32();
+    if (capacity != capacity_)
+        fatal("snapshot section '%s': MSHR capacity mismatch "
+              "(%u stored vs %u here)",
+              r.name().c_str(), capacity, capacity_);
+    clear();
+    for (std::uint32_t &slot : freeSlots_)
+        slot = r.u32();
 }
 
 void

@@ -22,6 +22,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /** Tracks outstanding misses for one cache. */
 class MshrFile
 {
@@ -81,6 +84,15 @@ class MshrFile
     }
 
     void clear();
+
+    /**
+     * Checkpoint support. Snapshots are taken at quiescence, so the file
+     * must be empty; serialize() panics otherwise. The free-slot stack
+     * order is saved so post-restore slot assignment matches the
+     * uninterrupted run exactly.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     unsigned capacity_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "snapshot/serializer.hpp"
+
 namespace cgct {
 
 namespace {
@@ -126,6 +128,20 @@ Rng
 Rng::fork(std::uint64_t salt)
 {
     return Rng(next() ^ (salt * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+}
+
+void
+Rng::serialize(Serializer &s) const
+{
+    for (std::uint64_t w : state_)
+        s.u64(w);
+}
+
+void
+Rng::deserialize(SectionReader &r)
+{
+    for (std::uint64_t &w : state_)
+        w = r.u64();
 }
 
 } // namespace cgct

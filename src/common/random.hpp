@@ -14,6 +14,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /** xoshiro256** PRNG with SplitMix64 seeding. */
 class Rng
 {
@@ -51,6 +54,10 @@ class Rng
 
     /** Fork a child RNG with a decorrelated stream (for per-CPU streams). */
     Rng fork(std::uint64_t salt);
+
+    /** Checkpoint support: save/restore the raw xoshiro256** state. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     std::uint64_t state_[4];

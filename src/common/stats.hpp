@@ -19,6 +19,8 @@ namespace cgct {
 
 class Histogram;
 class Distribution;
+class Serializer;
+class SectionReader;
 
 /**
  * A group of named statistics belonging to one component. Components
@@ -102,6 +104,10 @@ class Histogram
     void reset();
     void dump(std::ostream &os, const std::string &label) const;
 
+    /** Checkpoint support; geometry must match on restore. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     std::uint64_t bucketWidth_;
     std::vector<std::uint64_t> buckets_;
@@ -132,6 +138,10 @@ class Distribution
 
     void reset() { *this = Distribution{}; }
     void dump(std::ostream &os, const std::string &label) const;
+
+    /** Checkpoint support (moments stored as raw double bits). */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     std::uint64_t n_ = 0;
@@ -167,6 +177,10 @@ class IntervalTracker
 
     /** Clear counts; elapsed time restarts at @p start_tick. */
     void reset(Tick start_tick = 0);
+
+    /** Checkpoint support; window size must match on restore. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     Tick window_;

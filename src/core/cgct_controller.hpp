@@ -26,6 +26,8 @@
 namespace cgct {
 
 class TraceSink;
+class Serializer;
+class SectionReader;
 enum class TransitionCause : std::uint8_t;
 
 /** Routing decision handed to the node. */
@@ -97,6 +99,14 @@ class RegionTracker
 
     /** Emit region-protocol trace events to @p sink (default: none). */
     virtual void setTraceSink(TraceSink *sink) { (void)sink; }
+
+    /**
+     * Checkpoint support. Concrete trackers save/restore their tracking
+     * structures; the defaults panic so a tracker without snapshot
+     * support fails loudly instead of silently dropping state.
+     */
+    virtual void serialize(Serializer &s) const;
+    virtual void deserialize(SectionReader &r);
 };
 
 /** The paper's CGCT mechanism: region protocol over an RCA. */
@@ -134,6 +144,10 @@ class CgctController : public RegionTracker
     const RegionCoherenceArray &rca() const { return rca_; }
 
     const CgctParams &params() const { return params_; }
+
+    /** Checkpoint support: the controller's only state is the RCA. */
+    void serialize(Serializer &s) const override;
+    void deserialize(SectionReader &r) override;
 
   private:
     /** Emit a region_transition event if the state actually changed. */

@@ -34,6 +34,8 @@
 namespace cgct {
 
 class TraceSink;
+class Serializer;
+class SectionReader;
 
 /** One RCA entry. */
 struct RegionEntry {
@@ -147,6 +149,14 @@ class RegionCoherenceArray
     std::uint64_t countValid() const;
 
     void reset();
+
+    /**
+     * Checkpoint support: tags, occupancy, MRU hints, entry metadata,
+     * statistics and the eviction histograms. Geometry is verified on
+     * restore; mismatches fatal() with the section name.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     std::uint64_t setIndex(Addr addr) const;

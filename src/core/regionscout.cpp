@@ -1,6 +1,7 @@
 #include "core/regionscout.hpp"
 
 #include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -174,6 +175,50 @@ RegionScout::peekState(Addr line_addr) const
                regionAlign(line_addr))
                ? RegionState::DirtyInvalid
                : RegionState::Invalid;
+}
+
+void
+RegionScout::serialize(Serializer &s) const
+{
+    s.u64(regionBytes_);
+    s.u64(nsrtSets_);
+    s.u32(nsrtWays_);
+    s.u64(crh_.size());
+    for (const NsrtEntry &e : nsrt_) {
+        s.b(e.valid);
+        s.u64(e.regionAddr);
+        s.u64(e.lastUse);
+    }
+    for (std::uint32_t c : crh_)
+        s.u32(c);
+    s.u64(stats_.nsrtHits);
+    s.u64(stats_.nsrtFills);
+    s.u64(stats_.nsrtInvalidations);
+    s.u64(stats_.crhFilteredSnoops);
+}
+
+void
+RegionScout::deserialize(SectionReader &r)
+{
+    const std::uint64_t region_bytes = r.u64();
+    const std::uint64_t nsrt_sets = r.u64();
+    const std::uint32_t nsrt_ways = r.u32();
+    const std::uint64_t crh_entries = r.u64();
+    if (region_bytes != regionBytes_ || nsrt_sets != nsrtSets_ ||
+        nsrt_ways != nsrtWays_ || crh_entries != crh_.size())
+        fatal("snapshot section '%s': RegionScout geometry mismatch",
+              r.name().c_str());
+    for (NsrtEntry &e : nsrt_) {
+        e.valid = r.b();
+        e.regionAddr = r.u64();
+        e.lastUse = r.u64();
+    }
+    for (std::uint32_t &c : crh_)
+        c = r.u32();
+    stats_.nsrtHits = r.u64();
+    stats_.nsrtFills = r.u64();
+    stats_.nsrtInvalidations = r.u64();
+    stats_.crhFilteredSnoops = r.u64();
 }
 
 void

@@ -77,6 +77,10 @@ class RegionScout : public RegionTracker
 
     const Stats &stats() const { return stats_; }
 
+    /** Checkpoint support: NSRT entries, CRH counters and statistics. */
+    void serialize(Serializer &s) const override;
+    void deserialize(SectionReader &r) override;
+
   private:
     struct NsrtEntry {
         bool valid = false;

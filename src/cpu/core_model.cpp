@@ -1,6 +1,7 @@
 #include "cpu/core_model.hpp"
 
 #include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -215,6 +216,50 @@ CoreModel::run()
         if (!step())
             return;
     }
+}
+
+void
+CoreModel::serialize(Serializer &s) const
+{
+    if (state_ != State::Finished || !loads_.empty() || depWait_ ||
+        outstandingStores_ != 0 || runScheduled_)
+        panic("CoreModel: serializing cpu %d before it drained — "
+              "snapshots require a quiescent system", cpu_);
+    s.u64(clock_);
+    s.u64(instructions_);
+    s.u64(memOps_);
+    s.u32(gapCarry_);
+    s.u64(stats_.ifetchStallCycles);
+    s.u64(stats_.loadStallCycles);
+    s.u64(stats_.robStallCycles);
+    s.u64(stats_.storeStallCycles);
+}
+
+void
+CoreModel::deserialize(SectionReader &r)
+{
+    clock_ = r.u64();
+    instructions_ = r.u64();
+    memOps_ = r.u64();
+    gapCarry_ = r.u32();
+    stats_.ifetchStallCycles = r.u64();
+    stats_.loadStallCycles = r.u64();
+    stats_.robStallCycles = r.u64();
+    stats_.storeStallCycles = r.u64();
+    state_ = State::Finished;
+    loads_.clear();
+    depWait_.reset();
+    outstandingStores_ = 0;
+    runScheduled_ = false;
+}
+
+void
+CoreModel::resume()
+{
+    if (state_ != State::Finished)
+        panic("CoreModel: resume on a core that has not drained");
+    state_ = State::Running;
+    scheduleRun(clock_);
 }
 
 void

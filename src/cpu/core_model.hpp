@@ -23,6 +23,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /** Produces per-processor operation streams (the workload generator). */
 class OpSource
 {
@@ -61,6 +64,23 @@ class CoreModel
 
     const Stats &stats() const { return stats_; }
     void addStats(StatGroup &group) const;
+
+    /**
+     * Checkpoint support. Snapshots are taken at quiescence, so the core
+     * must be Finished with no outstanding loads or stores; serialize()
+     * panics otherwise. Saves the local clock, retire counts, the gap
+     * carry and the stall-cycle statistics.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
+    /**
+     * Wake a drained (Finished) core for the next checkpoint phase after
+     * the op source's pause point advanced. Re-resuming a core whose
+     * stream is truly exhausted is harmless: it re-drains at the same
+     * local clock without touching the memory system.
+     */
+    void resume();
 
   private:
     enum class State : std::uint8_t {

@@ -1,6 +1,7 @@
 #include "event/event_queue.hpp"
 
 #include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -187,6 +188,26 @@ EventQueue::clear()
         }
         wheelCount_ = 0;
     }
+}
+
+void
+EventQueue::serialize(Serializer &s) const
+{
+    if (!empty())
+        panic("EventQueue: serializing with %zu events pending — "
+              "snapshots require a drained system", pending());
+    s.u64(now_);
+    s.u64(executed_);
+}
+
+void
+EventQueue::deserialize(SectionReader &r)
+{
+    if (!empty())
+        panic("EventQueue: restoring into a queue with %zu events pending",
+              pending());
+    now_ = r.u64();
+    executed_ = r.u64();
 }
 
 } // namespace cgct

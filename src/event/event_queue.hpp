@@ -35,6 +35,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /**
  * Priority classes for events scheduled at the same tick. Lower runs first.
  * Coherence actions (snoops) are ordered before data deliveries before CPU
@@ -119,6 +122,17 @@ class EventQueue
      * allocation-free.
      */
     void clear();
+
+    /**
+     * Checkpoint support. Callbacks cannot be serialized, so snapshots
+     * are only taken when the queue is empty (a drained system); both
+     * directions panic otherwise. Only the clock and the executed-event
+     * count are state — the insertion sequence counter need not be
+     * saved, because execution order depends only on the *relative*
+     * order of events scheduled after the restore point.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     static constexpr Tick kWheelMask = kWheelTicks - 1;

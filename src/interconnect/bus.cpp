@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "common/trace_sink.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -137,6 +138,31 @@ Bus::resolve(const SystemRequest &req, ResponseFn fn)
     // invariant checker cross-validate region state vs cache contents.
     if (postResolve_)
         postResolve_(req);
+}
+
+void
+Bus::serialize(Serializer &s) const
+{
+    if (!queue_.empty() || grantScheduled_)
+        panic("Bus: serializing with %zu requests queued — snapshots "
+              "require a drained system", queue_.size());
+    s.u64(nextFreeSlot_);
+    s.u64(stats_.broadcasts);
+    s.u64(stats_.queueCycles);
+    s.u64(stats_.cacheToCache);
+    s.u64(stats_.memorySupplied);
+    traffic_.serialize(s);
+}
+
+void
+Bus::deserialize(SectionReader &r)
+{
+    nextFreeSlot_ = r.u64();
+    stats_.broadcasts = r.u64();
+    stats_.queueCycles = r.u64();
+    stats_.cacheToCache = r.u64();
+    stats_.memorySupplied = r.u64();
+    traffic_.deserialize(r);
 }
 
 void

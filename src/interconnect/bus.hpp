@@ -129,6 +129,14 @@ class Bus
         traffic_.reset(now);
     }
 
+    /**
+     * Checkpoint support. The request queue must be empty (drained
+     * system); serialize() panics otherwise. Saves the arbitration
+     * slot cursor, the counters and the traffic windows.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     struct Pending {
         SystemRequest req;

@@ -1,5 +1,8 @@
 #include "interconnect/data_network.hpp"
 
+#include "common/log.hpp"
+#include "snapshot/serializer.hpp"
+
 namespace cgct {
 
 DataNetwork::DataNetwork(unsigned num_cpus, const InterconnectParams &params)
@@ -21,6 +24,33 @@ DataNetwork::deliver(CpuId dst, Tick start, Distance d, unsigned bytes)
     ++stats_.transfers;
     stats_.bytes += bytes;
     return begin + params_.xferLatency(d);
+}
+
+void
+DataNetwork::serialize(Serializer &s) const
+{
+    s.u64(linkFree_.size());
+    for (Tick t : linkFree_)
+        s.u64(t);
+    s.u64(stats_.transfers);
+    s.u64(stats_.bytes);
+    s.u64(stats_.linkWaitCycles);
+}
+
+void
+DataNetwork::deserialize(SectionReader &r)
+{
+    const std::uint64_t links = r.u64();
+    if (links != linkFree_.size())
+        fatal("snapshot section '%s': data-network link count mismatch "
+              "(%llu stored vs %zu here)",
+              r.name().c_str(), static_cast<unsigned long long>(links),
+              linkFree_.size());
+    for (Tick &t : linkFree_)
+        t = r.u64();
+    stats_.transfers = r.u64();
+    stats_.bytes = r.u64();
+    stats_.linkWaitCycles = r.u64();
 }
 
 void

@@ -42,6 +42,13 @@ class DataNetwork
     void resetStats() { stats_ = Stats{}; }
     void addStats(StatGroup &group) const;
 
+    /**
+     * Checkpoint support: per-link busy-until ticks (a link can be
+     * reserved past the drain point) and the transfer counters.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     InterconnectParams params_;
     std::vector<Tick> linkFree_;   ///< Next free tick per destination link.

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/trace_sink.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -52,6 +53,26 @@ MemoryController::acceptWriteback(Tick arrival)
     const Tick start = claimSlot(arrival);
     CGCT_TRACE(trace_, memAccess(arrival, id_, MemAccessKind::Writeback,
                                  start));
+}
+
+void
+MemoryController::serialize(Serializer &s) const
+{
+    s.u64(nextFreeSlot_);
+    s.u64(stats_.overlappedReads);
+    s.u64(stats_.directReads);
+    s.u64(stats_.writebacks);
+    s.u64(stats_.queuedCycles);
+}
+
+void
+MemoryController::deserialize(SectionReader &r)
+{
+    nextFreeSlot_ = r.u64();
+    stats_.overlappedReads = r.u64();
+    stats_.directReads = r.u64();
+    stats_.writebacks = r.u64();
+    stats_.queuedCycles = r.u64();
 }
 
 void

@@ -75,6 +75,10 @@ class MemoryController
     /** Emit mem_access trace events to @p sink. */
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
+    /** Checkpoint support: the initiation-slot cursor and counters. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     /** Claim the next initiation slot at or after @p at. */
     Tick claimSlot(Tick at);

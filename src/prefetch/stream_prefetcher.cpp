@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.hpp"
+#include "snapshot/serializer.hpp"
+
 namespace cgct {
 
 StreamPrefetcher::StreamPrefetcher(const PrefetchParams &params,
@@ -133,6 +136,48 @@ StreamPrefetcher::addStats(StatGroup &group) const
     group.addScalar("prefetch.requests",
                     "prefetch candidates handed to the cache",
                     &stats_.prefetchesRequested);
+}
+
+void
+StreamPrefetcher::serialize(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(streams_.size()));
+    for (const Stream &st : streams_) {
+        s.b(st.valid);
+        s.b(st.confirmed);
+        s.b(st.storeStream);
+        s.i64(st.direction);
+        s.u64(st.lastLine);
+        s.u64(st.nextPrefetch);
+        s.u64(st.lastUse);
+    }
+    s.u64(useClock_);
+    s.u64(stats_.streamsAllocated);
+    s.u64(stats_.streamsConfirmed);
+    s.u64(stats_.prefetchesRequested);
+}
+
+void
+StreamPrefetcher::deserialize(SectionReader &r)
+{
+    const std::uint32_t n = r.u32();
+    if (n != streams_.size())
+        fatal("snapshot section '%s': prefetcher stream count mismatch "
+              "(%u stored vs %zu here)",
+              r.name().c_str(), n, streams_.size());
+    for (Stream &st : streams_) {
+        st.valid = r.b();
+        st.confirmed = r.b();
+        st.storeStream = r.b();
+        st.direction = static_cast<int>(r.i64());
+        st.lastLine = r.u64();
+        st.nextPrefetch = r.u64();
+        st.lastUse = r.u64();
+    }
+    useClock_ = r.u64();
+    stats_.streamsAllocated = r.u64();
+    stats_.streamsConfirmed = r.u64();
+    stats_.prefetchesRequested = r.u64();
 }
 
 void

@@ -18,6 +18,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /** A prefetch the engine wants issued. */
 struct PrefetchCandidate {
     Addr lineAddr = 0;
@@ -50,6 +53,10 @@ class StreamPrefetcher
     const Stats &stats() const { return stats_; }
     void addStats(StatGroup &group) const;
     void reset();
+
+    /** Checkpoint support: stream table, use clock and statistics. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     struct Stream {

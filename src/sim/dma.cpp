@@ -1,5 +1,7 @@
 #include "sim/dma.hpp"
 
+#include "snapshot/serializer.hpp"
+
 namespace cgct {
 
 DmaEngine::DmaEngine(EventQueue &eq, Bus &bus, const DmaParams &params,
@@ -59,6 +61,26 @@ DmaEngine::transfer()
                 ++stats_.dirtyHits;
         });
     }
+}
+
+void
+DmaEngine::serialize(Serializer &s) const
+{
+    rng_.serialize(s);
+    s.u64(stats_.transfers);
+    s.u64(stats_.readLines);
+    s.u64(stats_.writeLines);
+    s.u64(stats_.dirtyHits);
+}
+
+void
+DmaEngine::deserialize(SectionReader &r)
+{
+    rng_.deserialize(r);
+    stats_.transfers = r.u64();
+    stats_.readLines = r.u64();
+    stats_.writeLines = r.u64();
+    stats_.dirtyHits = r.u64();
 }
 
 void

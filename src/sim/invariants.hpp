@@ -39,6 +39,7 @@
 namespace cgct {
 
 class CgctController;
+class EventQueue;
 class Node;
 
 /** Region-protocol-vs-cache-contents cross validator. */
@@ -74,6 +75,17 @@ class InvariantChecker
     /** Number of per-transition checks executed (tests, reporting). */
     std::uint64_t checksRun() const { return checksRun_; }
 
+    /** Let failure reports name the simulated tick (wired by System). */
+    void setEventQueue(const EventQueue *eq) { eq_ = eq; }
+
+    /**
+     * Record the most recent checkpoint written (snapshot harness), so
+     * an invariant failure can point at the nearest restore point:
+     * replay the failing window with
+     * `cgct_sim --restore <path> --trace out.jsonl --check-invariants`.
+     */
+    void noteCheckpoint(const std::string &path, Tick tick);
+
   private:
     /** Nodes sharing one CGCT controller (one entry per chip when the
      *  RCA is shared; one per CPU otherwise). */
@@ -86,6 +98,10 @@ class InvariantChecker
     std::vector<const Node *> nodes_;
     std::vector<Group> groups_;
     std::uint64_t checksRun_ = 0;
+    const EventQueue *eq_ = nullptr;
+    std::string lastCheckpointPath_;
+    Tick lastCheckpointTick_ = 0;
+    bool haveCheckpoint_ = false;
 };
 
 } // namespace cgct

@@ -157,6 +157,18 @@ class Node : public SnoopClient
      */
     std::string checkInvariants() const;
 
+    /**
+     * Checkpoint support: the three caches, the MSHR free list, the
+     * prefetcher, the L2 tag-port cursor, the request statistics and the
+     * miss-latency histogram. The region tracker is serialized separately
+     * by the System (it may be shared between the cores of a chip).
+     * Snapshots require quiescence — no in-flight misses, fill waiters,
+     * postponed misses or pending region acquisitions; serialize()
+     * panics otherwise.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     /**
      * What happens when a request resolves: refresh the L1 (for demand

@@ -1,6 +1,7 @@
 #include "sim/oracle.hpp"
 
 #include "sim/node.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -49,6 +50,28 @@ Oracle::reset()
         c = Counts{};
     total_ = 0;
     unnecessary_ = 0;
+}
+
+void
+Oracle::serialize(Serializer &s) const
+{
+    for (const Counts &c : byCat_) {
+        s.u64(c.total);
+        s.u64(c.unnecessary);
+    }
+    s.u64(total_);
+    s.u64(unnecessary_);
+}
+
+void
+Oracle::deserialize(SectionReader &r)
+{
+    for (Counts &c : byCat_) {
+        c.total = r.u64();
+        c.unnecessary = r.u64();
+    }
+    total_ = r.u64();
+    unnecessary_ = r.u64();
 }
 
 void

@@ -59,6 +59,10 @@ class Oracle
     void reset();
     void addStats(StatGroup &group) const;
 
+    /** Checkpoint support: per-category and total tallies. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     std::vector<Node *> nodes_;
     Counts byCat_[static_cast<std::size_t>(RequestCategory::NumCategories)];

@@ -9,27 +9,26 @@
 
 namespace cgct {
 
-namespace {
-
-/** Periodically checks whether every core has drawn its warmup ops. */
 void
 scheduleWarmupCheck(System &sys, SyntheticWorkload &workload,
-                    std::uint64_t warmup_ops, Tick *measure_start)
+                    std::uint64_t warmup_ops, Tick *measure_start,
+                    bool *done)
 {
     constexpr Tick kCheckInterval = 5000;
     sys.eq().scheduleIn(kCheckInterval, [&sys, &workload, warmup_ops,
-                                         measure_start] {
+                                         measure_start, done] {
         if (workload.minOpsDrawn() >= warmup_ops) {
             *measure_start = sys.eq().now();
             sys.resetStats(sys.eq().now());
+            if (done)
+                *done = true;
             return; // Warmed up: stop checking.
         }
         if (!sys.allCoresFinished())
-            scheduleWarmupCheck(sys, workload, warmup_ops, measure_start);
+            scheduleWarmupCheck(sys, workload, warmup_ops, measure_start,
+                                done);
     });
 }
-
-} // namespace
 
 RunResult
 simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
@@ -51,10 +50,18 @@ simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
     if (!sys.allCoresFinished())
         panic("simulateOnce: event queue drained before cores finished");
 
+    return collectRunResult(sys, profile, opts.seed, measure_start);
+}
+
+RunResult
+collectRunResult(System &sys, const WorkloadProfile &profile,
+                 std::uint64_t seed, Tick measure_start)
+{
+    const SystemConfig &config = sys.config();
     RunResult r;
     r.workload = profile.name;
     r.regionBytes = config.cgct.enabled ? config.cgct.regionBytes : 0;
-    r.seed = opts.seed;
+    r.seed = seed;
     r.cycles = sys.maxCoreClock() - measure_start;
 
     for (unsigned i = 0; i < sys.numCpus(); ++i) {

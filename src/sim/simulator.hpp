@@ -136,6 +136,31 @@ RunResult simulateOnce(const SystemConfig &config,
                        const WorkloadProfile &profile,
                        const RunOptions &opts);
 
+class System;
+class SyntheticWorkload;
+
+/**
+ * Assemble a RunResult from a finished (fully drained) system: request
+ * routing, oracle verdicts, traffic, RCA behavior, histograms, the
+ * end-of-run invariant sweep, and the captured trace. Shared by
+ * simulateOnce() and the checkpoint harness (snapshot/snapshot.hpp).
+ */
+RunResult collectRunResult(System &sys, const WorkloadProfile &profile,
+                           std::uint64_t seed, Tick measure_start);
+
+/**
+ * Arm the periodic warmup check: every 5000 ticks, test whether each CPU
+ * has drawn @p warmup_ops operations, and reset the measurement
+ * statistics (recording the tick in @p measure_start) once they all
+ * have. The event stops rescheduling when every core is finished — at a
+ * checkpoint drain as well as at the end of the run — so the checkpoint
+ * harness re-arms it each phase and uses @p done (may be null) to know
+ * whether the reset already happened.
+ */
+void scheduleWarmupCheck(System &sys, SyntheticWorkload &workload,
+                         std::uint64_t warmup_ops, Tick *measure_start,
+                         bool *done = nullptr);
+
 /** Run @p n_seeds simulations differing only in seed. */
 std::vector<RunResult> simulateSeeds(const SystemConfig &config,
                                      const WorkloadProfile &profile,

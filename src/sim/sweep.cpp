@@ -43,15 +43,44 @@ SweepRunner::SweepRunner(SweepSpec spec, unsigned jobs)
 std::vector<RunResult>
 SweepRunner::run(const ResultFn &on_result, const ProgressFn &on_progress)
 {
-    const std::size_t total = cells_.size();
-    std::vector<std::future<RunResult>> futures;
-    futures.reserve(total);
+    return runResumable(ResumeHooks{}, on_result, on_progress).results;
+}
 
-    std::atomic<std::size_t> completed{0};
+SweepOutcome
+SweepRunner::runResumable(const ResumeHooks &hooks,
+                          const ResultFn &on_result,
+                          const ProgressFn &on_progress)
+{
+    const std::size_t total = cells_.size();
+    const std::map<std::uint64_t, RunResult> *cached = hooks.cached;
+    SweepOutcome out;
+    out.total = total;
+
+    std::size_t n_cached = 0;
+    if (cached) {
+        for (const auto &kv : *cached)
+            if (kv.first < total)
+                ++n_cached;
+    }
+
+    // Every cell keeps its slot so emission stays in cell order; cached
+    // cells simply have no future. A skipped flag (set by the worker
+    // before the future resolves, so the get() below synchronizes it)
+    // marks cells abandoned after a stop request.
+    std::vector<std::future<RunResult>> futures(total);
+    std::vector<char> skipped(total, 0);
+    std::atomic<std::size_t> completed{n_cached};
     ThreadPool pool(jobs_);
     for (const SweepCell &cell : cells_) {
-        futures.push_back(pool.submit([this, &cell, &completed,
-                                       &on_progress, total] {
+        if (cached && cached->count(cell.index))
+            continue;
+        futures[cell.index] = pool.submit([this, &cell, &completed,
+                                           &hooks, &skipped, &on_progress,
+                                           total] {
+            if (hooks.stopRequested && hooks.stopRequested()) {
+                skipped[cell.index] = 1;
+                return RunResult{};
+            }
             const SystemConfig config =
                 cell.regionBytes
                     ? spec_.baseConfig.withCgct(cell.regionBytes)
@@ -59,20 +88,39 @@ SweepRunner::run(const ResultFn &on_result, const ProgressFn &on_progress)
             RunOptions opts = spec_.opts;
             opts.seed = cell.seed;
             RunResult r = simulateOnce(config, *cell.profile, opts);
+            if (hooks.onCompleted)
+                hooks.onCompleted(cell, r);
+            const std::size_t done = completed.fetch_add(1) + 1;
             if (on_progress)
-                on_progress(completed.fetch_add(1) + 1, total, cell);
+                on_progress(done, total, cell);
             return r;
-        }));
+        });
     }
 
-    std::vector<RunResult> results;
-    results.reserve(total);
+    out.results.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
-        results.push_back(futures[i].get());
+        RunResult r;
+        if (cached && cached->count(i)) {
+            r = cached->at(i);
+        } else {
+            r = futures[i].get();
+            if (skipped[i]) {
+                out.interrupted = true;
+                break;
+            }
+        }
+        out.results.push_back(std::move(r));
         if (on_result)
-            on_result(cells_[i], results.back());
+            on_result(cells_[i], out.results.back());
     }
-    return results;
+
+    // Join the stragglers (completed-out-of-order or skipped cells past
+    // the break) before the pool unwinds.
+    for (auto &f : futures)
+        if (f.valid())
+            f.wait();
+    out.completedCells = completed.load();
+    return out;
 }
 
 void

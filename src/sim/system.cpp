@@ -2,6 +2,10 @@
 
 #include <ostream>
 #include <string>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -83,6 +87,7 @@ System::System(const SystemConfig &config, OpSource &source)
                                               node_ptrs.end());
         checker_ = std::make_unique<InvariantChecker>(config_,
                                                       const_nodes);
+        checker_->setEventQueue(&eq_);
         bus_->setPostResolveHook([this](const SystemRequest &req) {
             checker_->onTransition(req.lineAddr, "bus_resolve");
         });
@@ -131,6 +136,116 @@ System::resetStats(Tick now)
     bus_->resetStats(now);
     dataNet_->resetStats();
     oracle_->reset();
+}
+
+void
+System::serializeState(Serializer &s) const
+{
+    if (!allCoresFinished())
+        panic("System: serializing before every core drained");
+
+    s.beginSection("eq");
+    eq_.serialize(s);
+    s.endSection();
+
+    s.beginSection("bus");
+    bus_->serialize(s);
+    s.endSection();
+
+    s.beginSection("datanet");
+    dataNet_->serialize(s);
+    s.endSection();
+
+    s.beginSection("oracle");
+    oracle_->serialize(s);
+    s.endSection();
+
+    if (dma_) {
+        s.beginSection("dma");
+        dma_->serialize(s);
+        s.endSection();
+    }
+
+    for (std::size_t i = 0; i < memCtrls_.size(); ++i) {
+        s.beginSection("memctrl" + std::to_string(i));
+        memCtrls_[i]->serialize(s);
+        s.endSection();
+    }
+
+    // Chip-shared trackers appear once, under their first owner's index.
+    std::unordered_map<const RegionTracker *, bool> seen;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        s.beginSection("core" + std::to_string(i));
+        cores_[i]->serialize(s);
+        s.endSection();
+
+        s.beginSection("node" + std::to_string(i));
+        nodes_[i]->serialize(s);
+        s.endSection();
+
+        const RegionTracker *tracker = nodes_[i]->tracker();
+        if (tracker && !seen.count(tracker)) {
+            seen.emplace(tracker, true);
+            s.beginSection("tracker" + std::to_string(i));
+            tracker->serialize(s);
+            s.endSection();
+        }
+    }
+}
+
+void
+System::restoreState(const Deserializer &d)
+{
+    {
+        SectionReader r = d.section("eq");
+        eq_.deserialize(r);
+    }
+    {
+        SectionReader r = d.section("bus");
+        bus_->deserialize(r);
+    }
+    {
+        SectionReader r = d.section("datanet");
+        dataNet_->deserialize(r);
+    }
+    {
+        SectionReader r = d.section("oracle");
+        oracle_->deserialize(r);
+    }
+    if (dma_) {
+        SectionReader r = d.section("dma");
+        dma_->deserialize(r);
+    }
+    for (std::size_t i = 0; i < memCtrls_.size(); ++i) {
+        SectionReader r = d.section("memctrl" + std::to_string(i));
+        memCtrls_[i]->deserialize(r);
+    }
+    std::unordered_map<RegionTracker *, bool> seen;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        {
+            SectionReader r = d.section("core" + std::to_string(i));
+            cores_[i]->deserialize(r);
+        }
+        {
+            SectionReader r = d.section("node" + std::to_string(i));
+            nodes_[i]->deserialize(r);
+        }
+        RegionTracker *tracker = nodes_[i]->tracker();
+        if (tracker && !seen.count(tracker)) {
+            seen.emplace(tracker, true);
+            SectionReader r = d.section("tracker" + std::to_string(i));
+            tracker->deserialize(r);
+        }
+    }
+}
+
+void
+System::resumePhase()
+{
+    for (auto &core : cores_)
+        core->resume();
+    if (dma_)
+        dma_->start([this] { return !allCoresFinished(); });
 }
 
 void

@@ -27,6 +27,9 @@
 
 namespace cgct {
 
+class Serializer;
+class Deserializer;
+
 /** The whole machine. */
 class System
 {
@@ -77,6 +80,32 @@ class System
 
     /** Dump every component's statistics. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Checkpoint support (see docs/SNAPSHOT.md). serializeState()
+     * appends one section per component ("eq", "bus", "datanet",
+     * "oracle", "dma", "memctrl<i>", "core<i>", "node<i>",
+     * "tracker<i>") to @p s. It must be called on a drained system —
+     * event queue empty, every core Finished, no requests in flight —
+     * and panics otherwise. Chip-shared region trackers are serialized
+     * once, under the section of the first core that owns them.
+     */
+    void serializeState(Serializer &s) const;
+
+    /**
+     * Restore component state from @p d (same section layout). The
+     * system must be freshly constructed under the same configuration;
+     * the caller is responsible for checking the config fingerprint
+     * before calling this.
+     */
+    void restoreState(const Deserializer &d);
+
+    /**
+     * Resume execution for the next checkpoint phase after the op
+     * source's pause point advanced: wakes every drained core and
+     * restarts the DMA engine. Also used directly after restoreState().
+     */
+    void resumePhase();
 
   private:
     SystemConfig config_;

@@ -1,0 +1,303 @@
+#include "snapshot/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/log.hpp"
+#include "sim/sweep.hpp"
+#include "snapshot/serializer.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace cgct {
+
+namespace {
+
+const char kJournalMagic[8] = {'C', 'G', 'C', 'T', 'J', 'R', 'N', 'L'};
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
+/** Sanity bound on one record (a RunResult encodes to a few KB). */
+constexpr std::uint64_t kMaxRecordBytes = 64ULL << 20;
+
+std::uint64_t
+readLe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint32_t
+readLe32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+void
+encodeRunResult(Serializer &s, const RunResult &r)
+{
+    s.str(r.workload);
+    s.u64(r.regionBytes);
+    s.u64(r.seed);
+    s.u64(r.cycles);
+    s.u64(r.instructions);
+    s.u64(r.requestsTotal);
+    s.u64(r.broadcasts);
+    s.u64(r.directs);
+    s.u64(r.locals);
+    s.u64(r.writebacks);
+    for (std::size_t c = 0; c < RunResult::kNumCat; ++c) {
+        s.u64(r.broadcastsByCat[c]);
+        s.u64(r.directsByCat[c]);
+        s.u64(r.localsByCat[c]);
+    }
+    s.u64(r.oracleTotal);
+    s.u64(r.oracleUnnecessary);
+    for (std::size_t c = 0; c < RunResult::kNumCat; ++c) {
+        s.u64(r.oracleTotalByCat[c]);
+        s.u64(r.oracleUnnecessaryByCat[c]);
+    }
+    s.f64(r.avgBroadcastsPer100k);
+    s.f64(r.peakBroadcastsPer100k);
+    s.f64(r.l2MissRatio);
+    s.f64(r.avgMissLatency);
+    s.u64(r.cacheToCache);
+    s.u64(r.memorySupplied);
+    s.u64(r.rcaEvictedEmpty);
+    s.u64(r.rcaEvictedOne);
+    s.u64(r.rcaEvictedTwo);
+    s.u64(r.rcaEvictedMore);
+    s.u64(r.rcaSelfInvalidations);
+    s.u64(r.inclusionWritebacks);
+    s.f64(r.avgLinesPerEvictedRegion);
+
+    s.u32(static_cast<std::uint32_t>(r.histograms.size()));
+    for (const HistogramSnapshot &h : r.histograms) {
+        s.str(h.name);
+        s.str(h.desc);
+        s.u64(h.bucketWidth);
+        s.u64(h.samples);
+        s.u64(h.sum);
+        s.u64(h.buckets.size());
+        for (std::uint64_t b : h.buckets)
+            s.u64(b);
+    }
+    s.u32(static_cast<std::uint32_t>(r.distributions.size()));
+    for (const DistributionSnapshot &d : r.distributions) {
+        s.str(d.name);
+        s.str(d.desc);
+        s.u64(d.samples);
+        s.f64(d.min);
+        s.f64(d.max);
+        s.f64(d.mean);
+        s.f64(d.stddev);
+    }
+}
+
+RunResult
+decodeRunResult(SectionReader &r)
+{
+    RunResult out;
+    out.workload = r.str();
+    out.regionBytes = r.u64();
+    out.seed = r.u64();
+    out.cycles = r.u64();
+    out.instructions = r.u64();
+    out.requestsTotal = r.u64();
+    out.broadcasts = r.u64();
+    out.directs = r.u64();
+    out.locals = r.u64();
+    out.writebacks = r.u64();
+    for (std::size_t c = 0; c < RunResult::kNumCat; ++c) {
+        out.broadcastsByCat[c] = r.u64();
+        out.directsByCat[c] = r.u64();
+        out.localsByCat[c] = r.u64();
+    }
+    out.oracleTotal = r.u64();
+    out.oracleUnnecessary = r.u64();
+    for (std::size_t c = 0; c < RunResult::kNumCat; ++c) {
+        out.oracleTotalByCat[c] = r.u64();
+        out.oracleUnnecessaryByCat[c] = r.u64();
+    }
+    out.avgBroadcastsPer100k = r.f64();
+    out.peakBroadcastsPer100k = r.f64();
+    out.l2MissRatio = r.f64();
+    out.avgMissLatency = r.f64();
+    out.cacheToCache = r.u64();
+    out.memorySupplied = r.u64();
+    out.rcaEvictedEmpty = r.u64();
+    out.rcaEvictedOne = r.u64();
+    out.rcaEvictedTwo = r.u64();
+    out.rcaEvictedMore = r.u64();
+    out.rcaSelfInvalidations = r.u64();
+    out.inclusionWritebacks = r.u64();
+    out.avgLinesPerEvictedRegion = r.f64();
+
+    const std::uint32_t n_hist = r.u32();
+    out.histograms.resize(n_hist);
+    for (HistogramSnapshot &h : out.histograms) {
+        h.name = r.str();
+        h.desc = r.str();
+        h.bucketWidth = r.u64();
+        h.samples = r.u64();
+        h.sum = r.u64();
+        h.buckets.resize(r.u64());
+        for (std::uint64_t &b : h.buckets)
+            b = r.u64();
+    }
+    const std::uint32_t n_dist = r.u32();
+    out.distributions.resize(n_dist);
+    for (DistributionSnapshot &d : out.distributions) {
+        d.name = r.str();
+        d.desc = r.str();
+        d.samples = r.u64();
+        d.min = r.f64();
+        d.max = r.f64();
+        d.mean = r.f64();
+        d.stddev = r.f64();
+    }
+    return out;
+}
+
+std::uint64_t
+sweepFingerprint(const SweepSpec &spec)
+{
+    Serializer s;
+    canonicalizeConfig(s, spec.baseConfig);
+    s.u32(static_cast<std::uint32_t>(spec.profiles.size()));
+    for (const WorkloadProfile *p : spec.profiles)
+        s.str(p->name);
+    s.u32(static_cast<std::uint32_t>(spec.regionSizes.size()));
+    for (std::uint64_t region : spec.regionSizes)
+        s.u64(region);
+    s.u32(spec.seedsPerCell);
+    s.u64(spec.baseSeed);
+    s.u64(spec.opts.opsPerCpu);
+    s.u64(spec.opts.warmupOps);
+    return xxhash64(s.buffer().data(), s.size());
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+std::string
+SweepJournal::open(const std::string &path, std::uint64_t fingerprint)
+{
+    if (file_)
+        panic("SweepJournal: open() called twice");
+
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (!f) {
+        // Fresh journal: create it and write the header.
+        f = std::fopen(path.c_str(), "w+b");
+        if (!f)
+            return "cannot create journal file " + path;
+        Serializer h;
+        h.bytes(kJournalMagic, sizeof(kJournalMagic));
+        h.u32(kJournalVersion);
+        h.u64(fingerprint);
+        if (std::fwrite(h.buffer().data(), 1, h.size(), f) != h.size()) {
+            std::fclose(f);
+            return "cannot write journal header to " + path;
+        }
+        std::fflush(f);
+        ::fsync(fileno(f));
+        file_ = f;
+        return {};
+    }
+
+    // Existing journal: slurp, validate the header, replay the records.
+    std::vector<std::uint8_t> data;
+    {
+        std::fseek(f, 0, SEEK_END);
+        const long sz = std::ftell(f);
+        std::fseek(f, 0, SEEK_SET);
+        data.resize(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+        if (!data.empty() &&
+            std::fread(data.data(), 1, data.size(), f) != data.size()) {
+            std::fclose(f);
+            return "cannot read journal file " + path;
+        }
+    }
+    if (data.size() < kHeaderBytes ||
+        std::memcmp(data.data(), kJournalMagic, sizeof(kJournalMagic)) !=
+            0) {
+        std::fclose(f);
+        return path + " is not a cgct_sweep resume journal";
+    }
+    if (readLe32(data.data() + 8) != kJournalVersion) {
+        std::fclose(f);
+        return path + ": unsupported journal version";
+    }
+    if (readLe64(data.data() + 12) != fingerprint) {
+        std::fclose(f);
+        return path +
+               " was written by a different sweep (benchmarks, regions, "
+               "seeds, ops or system configuration differ) — refusing "
+               "to resume; delete it to start over";
+    }
+
+    std::size_t pos = kHeaderBytes;
+    while (pos < data.size()) {
+        if (data.size() - pos < 8)
+            break; // Torn length field.
+        const std::uint64_t len = readLe64(data.data() + pos);
+        if (len < 8 || len > kMaxRecordBytes ||
+            data.size() - pos - 8 < len + 8)
+            break; // Torn or nonsensical record.
+        const std::uint8_t *payload = data.data() + pos + 8;
+        if (xxhash64(payload, len) != readLe64(payload + len))
+            break; // Torn payload (crash mid-append).
+        SectionReader rec(payload, payload + len, "journal record");
+        const std::uint64_t index = rec.u64();
+        completed_[index] = decodeRunResult(rec);
+        pos += 8 + len + 8;
+    }
+
+    // Drop the torn tail so the next append starts on a record boundary.
+    if (pos < data.size()) {
+        if (ftruncate(fileno(f), static_cast<off_t>(pos)) != 0) {
+            std::fclose(f);
+            return "cannot truncate torn record in " + path;
+        }
+    }
+    std::fseek(f, static_cast<long>(pos), SEEK_SET);
+    file_ = f;
+    return {};
+}
+
+void
+SweepJournal::append(std::uint64_t cellIndex, const RunResult &result)
+{
+    Serializer payload;
+    payload.u64(cellIndex);
+    encodeRunResult(payload, result);
+
+    Serializer rec;
+    rec.u64(payload.size());
+    rec.bytes(payload.buffer().data(), payload.size());
+    rec.u64(xxhash64(payload.buffer().data(), payload.size()));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        panic("SweepJournal: append() before open()");
+    if (std::fwrite(rec.buffer().data(), 1, rec.size(), file_) !=
+        rec.size())
+        fatal("sweep journal: short write (disk full?)");
+    std::fflush(file_);
+    ::fsync(fileno(file_));
+    completed_[cellIndex] = result;
+    ++appends_;
+}
+
+} // namespace cgct

@@ -1,6 +1,7 @@
 #include "workload/generator.hpp"
 
 #include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -9,7 +10,8 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadProfile &profile,
                                      std::uint64_t ops_per_cpu,
                                      std::uint64_t seed)
     : profile_(profile), numCpus_(num_cpus), opsPerCpu_(ops_per_cpu),
-      cpus_(num_cpus), rwOwner_(profile.rwObjects, kInvalidCpu)
+      pauseAt_(ops_per_cpu), cpus_(num_cpus),
+      rwOwner_(profile.rwObjects, kInvalidCpu)
 {
     profile_.validate();
     Rng master(seed);
@@ -25,6 +27,73 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadProfile &profile,
                                                  ops_per_cpu)));
     }
     phaseEnd_.back() = ops_per_cpu; // Guard against rounding.
+}
+
+void
+SyntheticWorkload::setPauseAt(std::uint64_t ops)
+{
+    pauseAt_ = std::min(ops, opsPerCpu_);
+}
+
+void
+SyntheticWorkload::serialize(Serializer &s) const
+{
+    s.str(profile_.name);
+    s.u32(numCpus_);
+    s.u64(opsPerCpu_);
+    for (const CpuState &cs : cpus_) {
+        cs.rng.serialize(s);
+        s.u64(cs.ops);
+        for (const SegCursor *cur : {&cs.code, &cs.ro, &cs.priv}) {
+            s.u64(cur->addr);
+            s.u32(cur->runLeft);
+            s.u32(cur->repeatLeft);
+        }
+        s.u64(cs.dcbzLeft);
+        s.u64(cs.dcbzAddr);
+        s.u64(cs.dcbzPage);
+        s.b(cs.rmwPending);
+        s.u64(cs.rmwAddr);
+    }
+    s.u64(rwOwner_.size());
+    for (CpuId owner : rwOwner_)
+        s.i64(owner);
+}
+
+void
+SyntheticWorkload::deserialize(SectionReader &r)
+{
+    const std::string name = r.str();
+    const std::uint32_t num_cpus = r.u32();
+    const std::uint64_t ops = r.u64();
+    if (name != profile_.name || num_cpus != numCpus_ ||
+        ops != opsPerCpu_)
+        fatal("snapshot section '%s': workload mismatch (profile '%s', "
+              "%u CPUs, %llu ops stored vs '%s', %u, %llu here)",
+              r.name().c_str(), name.c_str(), num_cpus,
+              static_cast<unsigned long long>(ops),
+              profile_.name.c_str(), numCpus_,
+              static_cast<unsigned long long>(opsPerCpu_));
+    for (CpuState &cs : cpus_) {
+        cs.rng.deserialize(r);
+        cs.ops = r.u64();
+        for (SegCursor *cur : {&cs.code, &cs.ro, &cs.priv}) {
+            cur->addr = r.u64();
+            cur->runLeft = r.u32();
+            cur->repeatLeft = r.u32();
+        }
+        cs.dcbzLeft = r.u64();
+        cs.dcbzAddr = r.u64();
+        cs.dcbzPage = r.u64();
+        cs.rmwPending = r.b();
+        cs.rmwAddr = r.u64();
+    }
+    const std::uint64_t owners = r.u64();
+    if (owners != rwOwner_.size())
+        fatal("snapshot section '%s': shared-object count mismatch",
+              r.name().c_str());
+    for (CpuId &owner : rwOwner_)
+        owner = static_cast<CpuId>(r.i64());
 }
 
 std::uint64_t
@@ -88,7 +157,7 @@ bool
 SyntheticWorkload::next(CpuId cpu, CpuOp &op)
 {
     CpuState &cs = cpus_[static_cast<unsigned>(cpu)];
-    if (cs.ops >= opsPerCpu_)
+    if (cs.ops >= pauseAt_)
         return false;
     const PhaseSpec &ph = phaseFor(cs);
     ++cs.ops;

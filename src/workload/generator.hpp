@@ -28,6 +28,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /** Generates the operation streams for every processor of one run. */
 class SyntheticWorkload : public OpSource
 {
@@ -53,6 +56,25 @@ class SyntheticWorkload : public OpSource
     std::uint64_t minOpsDrawn() const;
 
     const WorkloadProfile &profile() const { return profile_; }
+
+    /**
+     * Checkpoint support: next() returns false once a CPU has drawn
+     * @p ops operations, so cores drain at the pause point instead of
+     * running to the end of the stream. Clamped to opsPerCpu(); pass
+     * opsPerCpu() to remove the pause. Raising the pause point after a
+     * drain and resuming the cores continues the streams exactly where
+     * they stopped.
+     */
+    void setPauseAt(std::uint64_t ops);
+    std::uint64_t pauseAt() const { return pauseAt_; }
+
+    /**
+     * Serialize the generator state: per-CPU RNG streams, cursors and
+     * pending-op latches, plus the shared-object ownership table. The
+     * profile name / CPU count / ops-per-CPU are verified on restore.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
 
   private:
     static constexpr unsigned kLine = 64;
@@ -95,6 +117,7 @@ class SyntheticWorkload : public OpSource
     WorkloadProfile profile_;
     unsigned numCpus_;
     std::uint64_t opsPerCpu_;
+    std::uint64_t pauseAt_;             ///< next() stops here (checkpoints).
     std::vector<CpuState> cpus_;
     std::vector<CpuId> rwOwner_;        ///< Shared: per-object owner.
     std::vector<std::uint64_t> phaseEnd_; ///< Op index ending each phase.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "snapshot/serializer.hpp"
 
 namespace cgct {
 
@@ -138,10 +139,39 @@ TraceReader::next(CpuId cpu, CpuOp &op)
 {
     auto &cur = cursor_[static_cast<unsigned>(cpu)];
     const auto &q = perCpu_[static_cast<unsigned>(cpu)];
-    if (cur >= q.size())
+    if (cur >= q.size() || cur >= pauseAt_)
         return false;
     op = q[cur++];
     return true;
+}
+
+void
+TraceReader::serialize(Serializer &s) const
+{
+    s.u32(numCpus_);
+    s.u64(opsPerCpu_);
+    s.u64(total_);
+    for (std::size_t cur : cursor_)
+        s.u64(cur);
+}
+
+void
+TraceReader::deserialize(SectionReader &r)
+{
+    const std::uint32_t num_cpus = r.u32();
+    const std::uint64_t ops = r.u64();
+    const std::uint64_t total = r.u64();
+    if (num_cpus != numCpus_ || ops != opsPerCpu_ || total != total_)
+        fatal("snapshot section '%s': trace stream mismatch "
+              "(%u CPUs / %llu ops / %llu records stored vs "
+              "%u / %llu / %llu here)",
+              r.name().c_str(), num_cpus,
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(total), numCpus_,
+              static_cast<unsigned long long>(opsPerCpu_),
+              static_cast<unsigned long long>(total_));
+    for (std::size_t &cur : cursor_)
+        cur = static_cast<std::size_t>(r.u64());
 }
 
 std::uint64_t

@@ -26,6 +26,9 @@
 
 namespace cgct {
 
+class Serializer;
+class SectionReader;
+
 /** Magic bytes + version for the trace format. */
 inline constexpr char kTraceMagic[4] = {'C', 'G', 'C', 'T'};
 inline constexpr std::uint32_t kTraceVersion = 1;
@@ -85,10 +88,22 @@ class TraceReader : public OpSource
         return q.size() - cursor_[static_cast<unsigned>(cpu)];
     }
 
+    /**
+     * Checkpoint support: next() returns false once a CPU's cursor
+     * reaches @p ops records (clamped to the per-CPU stream length), so
+     * replayed runs drain at the same pause points as generated ones.
+     */
+    void setPauseAt(std::uint64_t ops) { pauseAt_ = ops; }
+
+    /** Serialize the replay cursors; stream identity is verified. */
+    void serialize(Serializer &s) const;
+    void deserialize(SectionReader &r);
+
   private:
     unsigned numCpus_ = 0;
     std::uint64_t opsPerCpu_ = 0;
     std::uint64_t total_ = 0;
+    std::uint64_t pauseAt_ = UINT64_MAX;
     std::vector<std::vector<CpuOp>> perCpu_;
     std::vector<std::size_t> cursor_;
 };

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Snapshot serialization unit tests: the XXH64 digest, primitive and
+ * section round trips, file framing, corruption detection, the config
+ * fingerprint, RunResult journal encoding, and the sweep resume
+ * journal's crash semantics (torn-tail truncation, fingerprint refusal).
+ * Label: snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "snapshot/journal.hpp"
+#include "snapshot/serializer.hpp"
+#include "snapshot/snapshot.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace cgct;
+
+namespace {
+
+std::string
+tempPath(const char *stem)
+{
+    return std::string(::testing::TempDir()) + stem;
+}
+
+TEST(XxHash64, ReferenceVectors)
+{
+    // The canonical empty-input digest from the xxHash specification.
+    EXPECT_EQ(xxhash64("", 0), 0xEF46DB3751D8E999ULL);
+    // Seed participates.
+    EXPECT_NE(xxhash64("", 0, 1), 0xEF46DB3751D8E999ULL);
+}
+
+TEST(XxHash64, SensitiveToEveryByte)
+{
+    std::vector<std::uint8_t> data(300);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    const std::uint64_t base = xxhash64(data.data(), data.size());
+    for (std::size_t i : {std::size_t(0), std::size_t(31), std::size_t(32),
+                          std::size_t(250), data.size() - 1}) {
+        data[i] ^= 0x40;
+        EXPECT_NE(xxhash64(data.data(), data.size()), base)
+            << "flip at byte " << i << " went undetected";
+        data[i] ^= 0x40;
+    }
+    EXPECT_EQ(xxhash64(data.data(), data.size()), base);
+    // Length participates too.
+    EXPECT_NE(xxhash64(data.data(), data.size() - 1), base);
+}
+
+TEST(Serializer, PrimitiveRoundTrip)
+{
+    Serializer s;
+    s.u8(0xAB);
+    s.u16(0xBEEF);
+    s.u32(0xDEADBEEFu);
+    s.u64(0x0123456789ABCDEFULL);
+    s.i64(-42);
+    s.b(true);
+    s.b(false);
+    s.f64(3.141592653589793);
+    s.f64(-0.0);
+    s.str("hello");
+    s.str("");
+
+    SectionReader r(s.buffer().data(), s.buffer().data() + s.size(),
+                    "test");
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.f64(), 3.141592653589793);
+    const double nz = r.f64();
+    EXPECT_EQ(nz, 0.0);
+    EXPECT_TRUE(std::signbit(nz)); // Bit-exact, not value-exact.
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serializer, LittleEndianLayout)
+{
+    Serializer s;
+    s.u32(0x04030201u);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.buffer()[0], 1);
+    EXPECT_EQ(s.buffer()[3], 4);
+}
+
+TEST(SnapshotFile, SectionRoundTripThroughDisk)
+{
+    Serializer s;
+    s.beginSection("alpha");
+    s.u64(7);
+    s.str("payload");
+    s.endSection();
+    s.beginSection("beta");
+    s.u32(9);
+    s.endSection();
+
+    const std::string path = tempPath("snap_roundtrip.bin");
+    ASSERT_EQ(writeFileAtomic(path, makeSnapshotFile(0xF00D, s)), "");
+
+    Deserializer d;
+    ASSERT_EQ(d.open(path), "");
+    EXPECT_EQ(d.version(), kSnapshotVersion);
+    EXPECT_EQ(d.fingerprint(), 0xF00DULL);
+    EXPECT_TRUE(d.hasSection("alpha"));
+    EXPECT_TRUE(d.hasSection("beta"));
+    EXPECT_FALSE(d.hasSection("gamma"));
+
+    SectionReader a = d.section("alpha");
+    EXPECT_EQ(a.u64(), 7u);
+    EXPECT_EQ(a.str(), "payload");
+    EXPECT_TRUE(a.atEnd());
+    SectionReader b = d.section("beta");
+    EXPECT_EQ(b.u32(), 9u);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, DetectsCorruptionAndTruncation)
+{
+    Serializer s;
+    s.beginSection("data");
+    for (int i = 0; i < 64; ++i)
+        s.u64(static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL);
+    s.endSection();
+    const std::vector<std::uint8_t> good = makeSnapshotFile(1, s);
+    const std::string path = tempPath("snap_corrupt.bin");
+
+    // Flip one payload byte: the section checksum must catch it.
+    std::vector<std::uint8_t> bad = good;
+    bad[bad.size() / 2] ^= 0x01;
+    ASSERT_EQ(writeFileAtomic(path, bad), "");
+    Deserializer d1;
+    EXPECT_NE(d1.open(path), "");
+
+    // Truncate mid-section: framing must catch it.
+    std::vector<std::uint8_t> torn(good.begin(),
+                                   good.end() - good.size() / 3);
+    ASSERT_EQ(writeFileAtomic(path, torn), "");
+    Deserializer d2;
+    EXPECT_NE(d2.open(path), "");
+
+    // Wrong magic.
+    std::vector<std::uint8_t> wrong = good;
+    wrong[0] ^= 0xFF;
+    ASSERT_EQ(writeFileAtomic(path, wrong), "");
+    Deserializer d3;
+    EXPECT_NE(d3.open(path), "");
+
+    // And the pristine bytes still open.
+    ASSERT_EQ(writeFileAtomic(path, good), "");
+    Deserializer d4;
+    EXPECT_EQ(d4.open(path), "");
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, MissingFileIsAnError)
+{
+    Deserializer d;
+    EXPECT_NE(d.open(tempPath("does_not_exist.bin")), "");
+}
+
+TEST(Fingerprint, CoversConfigAndRunIdentity)
+{
+    const SystemConfig base = makeDefaultConfig();
+    RunOptions opts;
+    const std::uint64_t fp = snapshotFingerprint(base, "tpc-w", opts, 0);
+    EXPECT_EQ(snapshotFingerprint(base, "tpc-w", opts, 0), fp);
+
+    SystemConfig cgct = base.withCgct(512);
+    EXPECT_NE(snapshotFingerprint(cgct, "tpc-w", opts, 0), fp);
+    cgct = base.withCgct(256);
+    EXPECT_NE(snapshotFingerprint(base.withCgct(512), "tpc-w", opts, 0),
+              snapshotFingerprint(cgct, "tpc-w", opts, 0));
+
+    EXPECT_NE(snapshotFingerprint(base, "barnes", opts, 0), fp);
+    RunOptions other = opts;
+    other.seed = opts.seed + 1;
+    EXPECT_NE(snapshotFingerprint(base, "tpc-w", other, 0), fp);
+    EXPECT_NE(snapshotFingerprint(base, "tpc-w", opts, 10000), fp);
+
+    // Observability knobs never affect behavior, so they must not
+    // affect the fingerprint — that's what lets `--restore` add
+    // --trace / --check-invariants for time-travel debugging.
+    SystemConfig traced = base;
+    traced.obs.trace = true;
+    traced.obs.checkInvariants = true;
+    EXPECT_EQ(snapshotFingerprint(traced, "tpc-w", opts, 0), fp);
+
+    // maxEvents is a runaway guard, not part of the experiment.
+    RunOptions capped = opts;
+    capped.maxEvents = 123456;
+    EXPECT_EQ(snapshotFingerprint(base, "tpc-w", capped, 0), fp);
+}
+
+TEST(Fingerprint, MismatchRefusesRestore)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    const WorkloadProfile &profile = benchmarkByName("tpc-w");
+    RunOptions opts;
+    opts.opsPerCpu = 6000;
+    opts.warmupOps = 0;
+    CheckpointOptions ckpt;
+    ckpt.everyOps = 3000;
+    ckpt.writePrefix = tempPath("fp_mismatch");
+    simulateCheckpointed(config, profile, opts, ckpt);
+
+    CheckpointOptions restore;
+    restore.restorePath = ckpt.writePrefix + ".3000";
+    const SystemConfig other = makeDefaultConfig().withCgct(1024);
+    EXPECT_DEATH(simulateCheckpointed(other, profile, opts, restore),
+                 "fingerprint");
+    // Same config, different workload: refused with the workload named.
+    EXPECT_DEATH(simulateCheckpointed(config, benchmarkByName("barnes"),
+                                      opts, restore),
+                 "workload");
+    std::remove((ckpt.writePrefix + ".3000").c_str());
+}
+
+TEST(Rng, SerializeRoundTripContinuesStream)
+{
+    Rng a(12345);
+    for (int i = 0; i < 100; ++i)
+        a.next();
+    Serializer s;
+    a.serialize(s);
+    Rng b(1);
+    SectionReader r(s.buffer().data(), s.buffer().data() + s.size(),
+                    "rng");
+    b.deserialize(r);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+RunResult
+makeSampleResult()
+{
+    RunResult r;
+    r.workload = "sample";
+    r.regionBytes = 512;
+    r.seed = 99;
+    r.cycles = 123456;
+    r.instructions = 777;
+    r.requestsTotal = 1000;
+    r.broadcasts = 600;
+    r.directs = 300;
+    r.locals = 100;
+    r.writebacks = 55;
+    for (std::size_t c = 0; c < RunResult::kNumCat; ++c) {
+        r.broadcastsByCat[c] = 10 + c;
+        r.directsByCat[c] = 20 + c;
+        r.localsByCat[c] = 30 + c;
+        r.oracleTotalByCat[c] = 40 + c;
+        r.oracleUnnecessaryByCat[c] = 5 + c;
+    }
+    r.oracleTotal = 600;
+    r.oracleUnnecessary = 123;
+    r.avgBroadcastsPer100k = 1234.5;
+    r.peakBroadcastsPer100k = 2000.0;
+    r.l2MissRatio = 0.125;
+    r.avgMissLatency = 217.75;
+    r.cacheToCache = 42;
+    r.memorySupplied = 58;
+    r.rcaEvictedEmpty = 1;
+    r.rcaEvictedOne = 2;
+    r.rcaEvictedTwo = 3;
+    r.rcaEvictedMore = 4;
+    r.rcaSelfInvalidations = 5;
+    r.inclusionWritebacks = 6;
+    r.avgLinesPerEvictedRegion = 1.5;
+    HistogramSnapshot h;
+    h.name = "h";
+    h.desc = "a histogram";
+    h.bucketWidth = 8;
+    h.samples = 3;
+    h.sum = 24;
+    h.buckets = {1, 0, 2};
+    r.histograms.push_back(h);
+    DistributionSnapshot d;
+    d.name = "d";
+    d.desc = "a distribution";
+    d.samples = 4;
+    d.min = 1.0;
+    d.max = 9.0;
+    d.mean = 4.25;
+    d.stddev = 3.0;
+    r.distributions.push_back(d);
+    return r;
+}
+
+TEST(RunResultCodec, RoundTripsEveryField)
+{
+    const RunResult in = makeSampleResult();
+    Serializer s;
+    encodeRunResult(s, in);
+    SectionReader r(s.buffer().data(), s.buffer().data() + s.size(),
+                    "result");
+    const RunResult out = decodeRunResult(r);
+    EXPECT_TRUE(r.atEnd());
+
+    Serializer again;
+    encodeRunResult(again, out);
+    ASSERT_EQ(again.size(), s.size());
+    EXPECT_EQ(std::memcmp(again.buffer().data(), s.buffer().data(),
+                          s.size()),
+              0);
+    EXPECT_EQ(out.workload, in.workload);
+    EXPECT_EQ(out.cycles, in.cycles);
+    ASSERT_EQ(out.histograms.size(), 1u);
+    EXPECT_EQ(out.histograms[0].buckets, in.histograms[0].buckets);
+    ASSERT_EQ(out.distributions.size(), 1u);
+    EXPECT_EQ(out.distributions[0].mean, in.distributions[0].mean);
+}
+
+TEST(SweepJournalTest, AppendReloadAndTornTailTruncation)
+{
+    const std::string path = tempPath("journal_torn.bin");
+    std::remove(path.c_str());
+    const RunResult sample = makeSampleResult();
+
+    {
+        SweepJournal j;
+        ASSERT_EQ(j.open(path, 0xABCD), "");
+        j.append(0, sample);
+        j.append(5, sample); // Work stealing: indices need not be dense.
+        j.append(2, sample);
+        EXPECT_EQ(j.appendCount(), 3u);
+    }
+
+    // Simulate a crash mid-append: chop bytes off the last record.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        const long sz = std::ftell(f);
+        ASSERT_EQ(ftruncate(fileno(f), sz - 7), 0);
+        std::fclose(f);
+    }
+
+    SweepJournal j2;
+    ASSERT_EQ(j2.open(path, 0xABCD), "");
+    EXPECT_EQ(j2.completed().size(), 2u);
+    EXPECT_TRUE(j2.completed().count(0));
+    EXPECT_TRUE(j2.completed().count(5));
+    EXPECT_FALSE(j2.completed().count(2)); // The torn record.
+    EXPECT_EQ(j2.completed().at(5).cycles, sample.cycles);
+
+    // The torn tail was truncated, so appending and reloading is clean.
+    j2.append(2, sample);
+    SweepJournal j3;
+    ASSERT_EQ(j3.open(path, 0xABCD), "");
+    EXPECT_EQ(j3.completed().size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, RefusesForeignJournal)
+{
+    const std::string path = tempPath("journal_foreign.bin");
+    std::remove(path.c_str());
+    {
+        SweepJournal j;
+        ASSERT_EQ(j.open(path, 111), "");
+        j.append(0, makeSampleResult());
+    }
+    SweepJournal other;
+    const std::string err = other.open(path, 222);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("different sweep"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(SweepFingerprintTest, TracksSpecDefinition)
+{
+    SweepSpec spec;
+    spec.profiles.push_back(&benchmarkByName("tpc-w"));
+    spec.regionSizes = {0, 512};
+    spec.baseConfig = makeDefaultConfig();
+    const std::uint64_t fp = sweepFingerprint(spec);
+    EXPECT_EQ(sweepFingerprint(spec), fp);
+
+    SweepSpec more = spec;
+    more.regionSizes.push_back(1024);
+    EXPECT_NE(sweepFingerprint(more), fp);
+    SweepSpec seeds = spec;
+    seeds.seedsPerCell += 1;
+    EXPECT_NE(sweepFingerprint(seeds), fp);
+    SweepSpec ops = spec;
+    ops.opts.opsPerCpu += 1;
+    EXPECT_NE(sweepFingerprint(ops), fp);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * In-process crash/resume sweep tests: interrupt a resumable sweep
+ * mid-matrix, resume it from the journal, and require the re-emitted
+ * output to be byte-identical to an uninterrupted run — with the
+ * journaled cells actually skipped, not silently re-run. Label:
+ * snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "sim/sweep.hpp"
+#include "snapshot/journal.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace cgct;
+
+namespace {
+
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.profiles.push_back(&benchmarkByName("tpc-w"));
+    spec.profiles.push_back(&benchmarkByName("ocean"));
+    spec.regionSizes = {0, 512};
+    spec.seedsPerCell = 2;
+    spec.opts.opsPerCpu = 6000;
+    spec.opts.warmupOps = 1200;
+    spec.baseConfig = makeDefaultConfig();
+    return spec;
+}
+
+std::string
+toCsv(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeSweepCsvHeader(os);
+    for (const RunResult &r : results)
+        writeSweepCsvRow(os, r);
+    return os.str();
+}
+
+TEST(SweepResume, InterruptedThenResumedIsByteIdentical)
+{
+    const SweepSpec spec = smallSpec();
+    const std::uint64_t fp = sweepFingerprint(spec);
+    const std::string journal_path =
+        std::string(::testing::TempDir()) + "sweep_resume.journal";
+    std::remove(journal_path.c_str());
+
+    SweepRunner reference_runner(spec, 2);
+    const std::string reference = toCsv(reference_runner.run());
+    const std::size_t total = reference_runner.cells().size();
+    ASSERT_EQ(total, 8u);
+
+    // Phase 1: stop after 3 cells have been journaled, as a signal
+    // arriving mid-run would.
+    std::size_t interrupted_cells = 0;
+    {
+        SweepJournal journal;
+        ASSERT_EQ(journal.open(journal_path, fp), "");
+        SweepRunner runner(spec, 2);
+        SweepRunner::ResumeHooks hooks;
+        hooks.cached = &journal.completed();
+        hooks.stopRequested = [&journal] {
+            return journal.appendCount() >= 3;
+        };
+        hooks.onCompleted = [&journal](const SweepCell &cell,
+                                       const RunResult &r) {
+            journal.append(cell.index, r);
+        };
+        const SweepOutcome out = runner.runResumable(hooks);
+        EXPECT_TRUE(out.interrupted);
+        EXPECT_LT(out.results.size(), total);
+        interrupted_cells = journal.completed().size();
+        EXPECT_GE(interrupted_cells, 3u);
+        EXPECT_LT(interrupted_cells, total);
+        // The streamed prefix matches the reference byte-for-byte.
+        const std::string partial = toCsv(out.results);
+        EXPECT_EQ(reference.compare(0, partial.size(), partial), 0);
+    }
+
+    // Phase 2: a fresh process resumes from the journal and finishes.
+    {
+        SweepJournal journal;
+        ASSERT_EQ(journal.open(journal_path, fp), "");
+        EXPECT_EQ(journal.completed().size(), interrupted_cells);
+        SweepRunner runner(spec, 2);
+        SweepRunner::ResumeHooks hooks;
+        hooks.cached = &journal.completed();
+        std::atomic<std::size_t> fresh{0};
+        hooks.onCompleted = [&journal, &fresh](const SweepCell &cell,
+                                               const RunResult &r) {
+            journal.append(cell.index, r);
+            ++fresh;
+        };
+        const SweepOutcome out = runner.runResumable(hooks);
+        EXPECT_FALSE(out.interrupted);
+        EXPECT_EQ(out.results.size(), total);
+        // Journaled cells were skipped, not re-run.
+        EXPECT_EQ(fresh.load(), total - interrupted_cells);
+        EXPECT_EQ(toCsv(out.results), reference);
+    }
+
+    // Phase 3: resuming a *finished* journal runs nothing and still
+    // re-emits identical bytes.
+    {
+        SweepJournal journal;
+        ASSERT_EQ(journal.open(journal_path, fp), "");
+        EXPECT_EQ(journal.completed().size(), total);
+        SweepRunner runner(spec, 2);
+        SweepRunner::ResumeHooks hooks;
+        hooks.cached = &journal.completed();
+        bool ran_any = false;
+        hooks.onCompleted = [&ran_any](const SweepCell &,
+                                       const RunResult &) {
+            ran_any = true;
+        };
+        const SweepOutcome out = runner.runResumable(hooks);
+        EXPECT_FALSE(ran_any);
+        EXPECT_EQ(toCsv(out.results), reference);
+    }
+    std::remove(journal_path.c_str());
+}
+
+TEST(SweepResume, StopBeforeAnyCellLeavesEmptyValidJournal)
+{
+    const SweepSpec spec = smallSpec();
+    const std::uint64_t fp = sweepFingerprint(spec);
+    const std::string journal_path =
+        std::string(::testing::TempDir()) + "sweep_resume_empty.journal";
+    std::remove(journal_path.c_str());
+
+    {
+        SweepJournal journal;
+        ASSERT_EQ(journal.open(journal_path, fp), "");
+        SweepRunner runner(spec, 2);
+        SweepRunner::ResumeHooks hooks;
+        hooks.cached = &journal.completed();
+        hooks.stopRequested = [] { return true; };
+        const SweepOutcome out = runner.runResumable(hooks);
+        EXPECT_TRUE(out.interrupted);
+        EXPECT_TRUE(out.results.empty());
+    }
+    SweepJournal journal;
+    EXPECT_EQ(journal.open(journal_path, fp), "");
+    EXPECT_TRUE(journal.completed().empty());
+    std::remove(journal_path.c_str());
+}
+
+} // namespace

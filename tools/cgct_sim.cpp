@@ -25,6 +25,7 @@
 #include "sim/json_stats.hpp"
 #include "sim/simulator.hpp"
 #include "sim/system.hpp"
+#include "snapshot/snapshot.hpp"
 #include "workload/benchmarks.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
@@ -108,6 +109,9 @@ main(int argc, char **argv)
     std::string replay_path;
     std::string trace_out;
     std::string trace_format = "jsonl";
+    std::uint64_t checkpoint_every = 0;
+    std::string checkpoint_path;
+    std::string restore_path;
 
     ArgParser parser(
         "cgct_sim",
@@ -148,6 +152,16 @@ main(int argc, char **argv)
                      "path (see docs/TRACING.md)");
     parser.addString("trace-format", &trace_format,
                      "trace output format: jsonl (default) or chrome");
+    parser.addU64("checkpoint-every", &checkpoint_every,
+                  "drain and checkpoint every N ops per CPU (see "
+                  "docs/SNAPSHOT.md); the drain schedule is part of the "
+                  "experiment, so pass the same value when restoring");
+    parser.addString("checkpoint", &checkpoint_path,
+                     "write each checkpoint to PATH.<ops> (requires "
+                     "--checkpoint-every)");
+    parser.addString("restore", &restore_path,
+                     "restore from this snapshot and run to the end; "
+                     "refuses snapshots from a different configuration");
     parser.addFlag("check-invariants", &check_invariants,
                    "cross-check region state against cache contents at "
                    "every ordering point");
@@ -196,8 +210,42 @@ main(int argc, char **argv)
     opts.warmupOps = warmup ? warmup : ops / 5;
     opts.seed = seed;
 
+    const bool checkpointing =
+        checkpoint_every || !checkpoint_path.empty() ||
+        !restore_path.empty();
+    if (checkpointing) {
+        if (!replay_path.empty()) {
+            std::fprintf(stderr, "cgct_sim: checkpoint/restore does not "
+                                 "apply to --replay\n");
+            return 1;
+        }
+        if (seeds != 1) {
+            std::fprintf(stderr, "cgct_sim: checkpoint/restore requires "
+                                 "--seeds 1 (one run, one state)\n");
+            return 1;
+        }
+        if (!checkpoint_path.empty() && !checkpoint_every &&
+            restore_path.empty()) {
+            std::fprintf(stderr, "cgct_sim: --checkpoint needs "
+                                 "--checkpoint-every to know where to "
+                                 "drain\n");
+            return 1;
+        }
+    }
+
     std::vector<RunResult> results;
-    if (!replay_path.empty()) {
+    if (checkpointing) {
+        const WorkloadProfile &profile = benchmarkByName(benchmark);
+        // Match the first link of simulateSeeds' chain, so a
+        // checkpointed run is the same experiment as `--seeds 1`.
+        opts.seed = opts.seed * 2654435761ULL + 12345;
+        CheckpointOptions ckpt;
+        ckpt.everyOps = checkpoint_every;
+        ckpt.writePrefix = checkpoint_path;
+        ckpt.restorePath = restore_path;
+        results.push_back(
+            simulateCheckpointed(config, profile, opts, ckpt));
+    } else if (!replay_path.empty()) {
         // Trace replay: drive a System directly from the recorded trace.
         TraceReader reader(replay_path);
         if (reader.numCpus() != config.topology.numCpus)

@@ -12,6 +12,10 @@
 #      addHistogram/addDistribution must be documented in docs/TRACING.md.
 #   5. docs/ARCHITECTURE.md must exist and be cross-linked from
 #      README.md, DESIGN.md, docs/PERF.md, and docs/SWEEP.md.
+#   6. docs/SNAPSHOT.md must cover the checkpoint/journal formats, the
+#      checkpoint flags, and the crash/resume semantics, and be
+#      cross-linked from README.md, docs/SWEEP.md, and
+#      docs/ARCHITECTURE.md.
 #
 # Run from anywhere:
 #
@@ -127,9 +131,41 @@ else
     done
 fi
 
+# Snapshot documentation: docs/SNAPSHOT.md must cover the on-disk
+# formats, the checkpoint/restore flags, and the resume/crash semantics,
+# and be reachable from the entry-point docs.
+snap_doc="$root/docs/SNAPSHOT.md"
+if [ ! -f "$snap_doc" ]; then
+    echo "check_docs: $snap_doc is missing" >&2
+    fail=1
+else
+    for token in CGCTSNAP CGCTJRNL xxhash64 fingerprint \
+                 --checkpoint-every --checkpoint --restore --resume \
+                 CGCT_TEST_CRASH_AFTER_CELLS snapshot_resume_test.sh \
+                 BENCH_sweep.json setPauseAt resumePhase \
+                 simulateCheckpointed; do
+        if ! grep -q -- "$token" "$snap_doc"; then
+            echo "check_docs: docs/SNAPSHOT.md does not mention $token" >&2
+            fail=1
+        fi
+    done
+    # Exit code 75 (resumable interruption) must be documented.
+    if ! grep -qE '\b75\b' "$snap_doc"; then
+        echo "check_docs: docs/SNAPSHOT.md does not document exit" \
+             "code 75" >&2
+        fail=1
+    fi
+    for ref in README.md docs/SWEEP.md docs/ARCHITECTURE.md; do
+        if ! grep -q "SNAPSHOT.md" "$root/$ref"; then
+            echo "check_docs: $ref does not link to docs/SNAPSHOT.md" >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md /" \
-         "docs/TRACING.md / docs/ARCHITECTURE.md" >&2
+         "docs/TRACING.md / docs/ARCHITECTURE.md / docs/SNAPSHOT.md" >&2
     exit 1
 fi
 echo "check_docs: flags, perf targets, trace event types, stat names," \

@@ -52,16 +52,22 @@ SweepRunner::runResumable(const ResumeHooks &hooks,
                           const ProgressFn &on_progress)
 {
     const std::size_t total = cells_.size();
-    const std::map<std::uint64_t, RunResult> *cached = hooks.cached;
     SweepOutcome out;
     out.total = total;
 
+    // Snapshot the journal's pre-existing entries by value before any
+    // worker starts: hooks.onCompleted typically appends to the very map
+    // hooks.cached points at (under the journal's own lock), and the
+    // emission loop below must not read a std::map other threads are
+    // concurrently inserting into.
+    std::map<std::uint64_t, RunResult> cached;
+    if (hooks.cached)
+        cached = *hooks.cached;
+
     std::size_t n_cached = 0;
-    if (cached) {
-        for (const auto &kv : *cached)
-            if (kv.first < total)
-                ++n_cached;
-    }
+    for (const auto &kv : cached)
+        if (kv.first < total)
+            ++n_cached;
 
     // Every cell keeps its slot so emission stays in cell order; cached
     // cells simply have no future. A skipped flag (set by the worker
@@ -72,7 +78,7 @@ SweepRunner::runResumable(const ResumeHooks &hooks,
     std::atomic<std::size_t> completed{n_cached};
     ThreadPool pool(jobs_);
     for (const SweepCell &cell : cells_) {
-        if (cached && cached->count(cell.index))
+        if (cached.count(cell.index))
             continue;
         futures[cell.index] = pool.submit([this, &cell, &completed,
                                            &hooks, &skipped, &on_progress,
@@ -100,8 +106,8 @@ SweepRunner::runResumable(const ResumeHooks &hooks,
     out.results.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
         RunResult r;
-        if (cached && cached->count(i)) {
-            r = cached->at(i);
+        if (cached.count(i)) {
+            r = cached.at(i);
         } else {
             r = futures[i].get();
             if (skipped[i]) {

@@ -212,6 +212,9 @@ SweepJournal::open(const std::string &path, std::uint64_t fingerprint)
         }
         std::fflush(f);
         ::fsync(fileno(f));
+        // Make the new directory entry durable too, or a power loss
+        // could leave a fully-fsync'd journal with no name.
+        fsyncDirOf(path);
         file_ = f;
         return {};
     }

@@ -24,6 +24,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -76,14 +77,15 @@ class SweepJournal
     /** Thread-safe, fsync'd append of one freshly completed cell. */
     void append(std::uint64_t cellIndex, const RunResult &result);
 
-    /** Records appended by *this* process (crash-injection hook). */
-    std::uint64_t appendCount() const { return appends_; }
+    /** Records appended by *this* process (crash-injection hook).
+     *  Atomic: read from any worker thread while others append. */
+    std::uint64_t appendCount() const { return appends_.load(); }
 
   private:
     std::FILE *file_ = nullptr;
     std::mutex mutex_;
     std::map<std::uint64_t, RunResult> completed_;
-    std::uint64_t appends_ = 0;
+    std::atomic<std::uint64_t> appends_{0};
 };
 
 } // namespace cgct

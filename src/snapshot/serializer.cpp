@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/log.hpp"
@@ -312,7 +313,9 @@ Deserializer::open(const std::string &path)
             name_len |= static_cast<std::uint32_t>(data_[off + i])
                         << (8 * i);
         off += 4;
-        if (data_.size() - off < name_len + 8)
+        // Size arithmetic on untrusted lengths: compute in size_t so a
+        // crafted name_len near UINT32_MAX cannot wrap the sum.
+        if (data_.size() - off < static_cast<std::size_t>(name_len) + 8)
             return path + ": torn section header";
         std::string name(reinterpret_cast<const char *>(data_.data() + off),
                          name_len);
@@ -322,7 +325,10 @@ Deserializer::open(const std::string &path)
             payload_len |= static_cast<std::uint64_t>(data_[off + i])
                            << (8 * i);
         off += 8;
-        if (data_.size() - off < payload_len + 8)
+        // No addition on the untrusted payload_len — it can be anything
+        // up to UINT64_MAX, so `payload_len + 8` could wrap and pass.
+        if (payload_len > data_.size() - off ||
+            data_.size() - off - static_cast<std::size_t>(payload_len) < 8)
             return path + ": torn section '" + name + "'";
         std::uint64_t stored_hash = 0;
         std::size_t hash_at = off + static_cast<std::size_t>(payload_len);
@@ -401,7 +407,23 @@ writeFileAtomic(const std::string &path,
         std::remove(tmp.c_str());
         return "cannot rename " + tmp + " to " + path;
     }
+    // The rename is durable only once the directory entry is on disk.
+    fsyncDirOf(path);
     return "";
+}
+
+void
+fsyncDirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "."
+                                   : path.substr(0, slash ? slash : 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
 }
 
 } // namespace cgct

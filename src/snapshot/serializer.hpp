@@ -156,9 +156,17 @@ std::vector<std::uint8_t> makeSnapshotFile(std::uint64_t fingerprint,
 
 /**
  * Write @p bytes to @p path atomically (write to "<path>.tmp", fsync,
- * rename). Returns an error message or empty string.
+ * rename, fsync the containing directory so the new name survives power
+ * loss). Returns an error message or empty string.
  */
 std::string writeFileAtomic(const std::string &path,
                             const std::vector<std::uint8_t> &bytes);
+
+/**
+ * fsync the directory containing @p path, making a just-created or
+ * just-renamed directory entry durable. Best-effort: some filesystems
+ * refuse to open directories, so errors are ignored.
+ */
+void fsyncDirOf(const std::string &path);
 
 } // namespace cgct

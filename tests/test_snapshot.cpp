@@ -173,6 +173,39 @@ TEST(SnapshotFile, DetectsCorruptionAndTruncation)
     std::remove(path.c_str());
 }
 
+TEST(SnapshotFile, CraftedLengthsCannotWrapBoundsChecks)
+{
+    Serializer s;
+    s.beginSection("data");
+    s.u64(1);
+    s.endSection();
+    const std::vector<std::uint8_t> good = makeSnapshotFile(1, s);
+    const std::string path = tempPath("snap_wrap.bin");
+    const std::size_t name_len_at = sizeof(kSnapshotMagic) + 4 + 8;
+    const std::size_t payload_len_at = name_len_at + 4 + 4; // "data"
+
+    // name_len near UINT32_MAX: `name_len + 8` wraps to a small value
+    // in 32-bit arithmetic, so a naive check would pass and read out of
+    // bounds. Must be rejected as a torn header instead.
+    std::vector<std::uint8_t> bad = good;
+    for (int i = 0; i < 4; ++i)
+        bad[name_len_at + i] = 0xFF;
+    ASSERT_EQ(writeFileAtomic(path, bad), "");
+    Deserializer d1;
+    EXPECT_NE(d1.open(path), "");
+
+    // payload_len = 2^64 - 8: `payload_len + 8` wraps to zero, which
+    // would pass a naive check and underflow the section range.
+    bad = good;
+    bad[payload_len_at] = 0xF8;
+    for (int i = 1; i < 8; ++i)
+        bad[payload_len_at + i] = 0xFF;
+    ASSERT_EQ(writeFileAtomic(path, bad), "");
+    Deserializer d2;
+    EXPECT_NE(d2.open(path), "");
+    std::remove(path.c_str());
+}
+
 TEST(SnapshotFile, MissingFileIsAnError)
 {
     Deserializer d;

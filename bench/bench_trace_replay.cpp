@@ -1,0 +1,158 @@
+/**
+ * @file
+ * bench_trace_replay — throughput microbenchmark for the trace frontend
+ * (docs/TRACE_FORMAT.md). Answers the question the replay path raises:
+ * is streaming ops out of an mmap'd v2 file at least as cheap as
+ * synthesizing them, so `--replay` never becomes the bottleneck of a
+ * simulation that used to run off the generator?
+ *
+ * Emits one machine-readable JSON object on stdout (schema validated
+ * and throughput-gated against BENCH_trace.json by
+ * tools/bench_smoke.sh):
+ *
+ *   bench_trace_replay [--ops N] [--cpus N]
+ *
+ * Phases measured:
+ *   generator  SyntheticWorkload::next() drained round-robin — the
+ *              baseline op-stream cost every run pays today.
+ *   capture    TraceWriter::append() of that same stream (spooling,
+ *              hashing, encode) — the cost of `--capture`.
+ *   replay     TraceReplay::next() over the written file — mmap-backed
+ *              streaming decode, the cost of `--replay`.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/benchmarks.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_replay.hpp"
+
+namespace {
+
+using namespace cgct;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 2000000;
+    unsigned cpus = 4;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
+            cpus = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_trace_replay [--ops N] [--cpus N]\n");
+            return 2;
+        }
+    }
+    if (ops < 1000)
+        ops = 1000;
+    if (cpus == 0 || cpus > 64)
+        cpus = 4;
+    const std::uint64_t per_cpu = ops / cpus;
+    const std::uint64_t total = per_cpu * cpus;
+
+    const char *tmpdir = std::getenv("TMPDIR");
+    const std::string path = std::string(tmpdir ? tmpdir : "/tmp") +
+                             "/cgct_bench_trace_replay.bin";
+
+    const WorkloadProfile &profile = benchmarkByName("tpc-w");
+
+    // Phase 1: generator baseline. Same profile/seed as the capture so
+    // all three phases process the identical op stream.
+    double generator_ops_per_sec = 0;
+    {
+        SyntheticWorkload gen(profile, cpus, per_cpu, 20050609);
+        CpuOp op;
+        std::uint64_t drawn = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < per_cpu; ++i)
+            for (unsigned c = 0; c < cpus; ++c)
+                drawn += gen.next(static_cast<CpuId>(c), op) ? 1 : 0;
+        const double dt = secondsSince(t0);
+        if (drawn != total) {
+            std::fprintf(stderr,
+                         "bench_trace_replay: generator drew %llu of "
+                         "%llu ops\n",
+                         static_cast<unsigned long long>(drawn),
+                         static_cast<unsigned long long>(total));
+            return 1;
+        }
+        generator_ops_per_sec = static_cast<double>(drawn) / dt;
+    }
+
+    // Phase 2: capture that stream through the v2 writer (encode +
+    // xxhash + spooling + atomic publish).
+    double capture_ops_per_sec = 0;
+    {
+        SyntheticWorkload gen(profile, cpus, per_cpu, 20050609);
+        TraceWriter writer(path, cpus, per_cpu);
+        CpuOp op;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < per_cpu; ++i) {
+            for (unsigned c = 0; c < cpus; ++c) {
+                if (gen.next(static_cast<CpuId>(c), op))
+                    writer.append(static_cast<CpuId>(c), op);
+            }
+        }
+        writer.close();
+        const double dt = secondsSince(t0);
+        capture_ops_per_sec = static_cast<double>(total) / dt;
+    }
+
+    // Phase 3: stream the file back (mmap + record decode).
+    double replay_ops_per_sec = 0;
+    {
+        TraceReplay replay(path);
+        CpuOp op;
+        std::uint64_t seen = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (unsigned c = 0; c < cpus; ++c)
+            while (replay.next(static_cast<CpuId>(c), op))
+                ++seen;
+        const double dt = secondsSince(t0);
+        if (seen != total || !replay.allEnded()) {
+            std::fprintf(stderr,
+                         "bench_trace_replay: replay returned %llu of "
+                         "%llu ops\n",
+                         static_cast<unsigned long long>(seen),
+                         static_cast<unsigned long long>(total));
+            return 1;
+        }
+        replay_ops_per_sec = static_cast<double>(seen) / dt;
+    }
+    std::remove(path.c_str());
+
+    std::printf("{\n"
+                "  \"schema\": \"cgct-bench-trace-replay-v1\",\n"
+                "  \"ops\": %llu,\n"
+                "  \"cpus\": %u,\n"
+                "  \"generator_ops_per_sec\": %.0f,\n"
+                "  \"capture_ops_per_sec\": %.0f,\n"
+                "  \"replay_ops_per_sec\": %.0f,\n"
+                "  \"replay_vs_generator\": %.2f\n"
+                "}\n",
+                static_cast<unsigned long long>(total), cpus,
+                generator_ops_per_sec, capture_ops_per_sec,
+                replay_ops_per_sec,
+                replay_ops_per_sec / generator_ops_per_sec);
+    return 0;
+}

@@ -9,6 +9,9 @@ CoreModel::CoreModel(CpuId cpu, const CoreParams &params, EventQueue &eq,
                      Node &node, OpSource &source)
     : cpu_(cpu), params_(params), eq_(eq), node_(node), source_(source)
 {
+    // Trace replay: a fetch that returns Blocked (sync event) resumes
+    // the core through this callback, from event-queue context.
+    source_.bindWaiter(cpu_, [this](Tick release) { syncWake(release); });
 }
 
 void
@@ -81,6 +84,20 @@ CoreModel::enforceWindow()
     return true;
 }
 
+void
+CoreModel::syncWake(Tick release)
+{
+    if (state_ != State::WaitSync)
+        panic("CoreModel: sync wake on cpu %d in state %d", cpu_,
+              static_cast<int>(state_));
+    if (release > clock_) {
+        stats_.syncStallCycles += release - clock_;
+        clock_ = release;
+    }
+    state_ = State::Running;
+    run();
+}
+
 bool
 CoreModel::step()
 {
@@ -88,9 +105,16 @@ CoreModel::step()
         return false;
 
     CpuOp op;
-    if (!source_.next(cpu_, op)) {
+    const Tick before_fetch = clock_;
+    const OpFetch fetched = source_.fetch(cpu_, clock_, op);
+    stats_.syncStallCycles += clock_ - before_fetch;
+    if (fetched == OpFetch::End) {
         state_ = State::Draining;
         checkDrained();
+        return false;
+    }
+    if (fetched == OpFetch::Blocked) {
+        state_ = State::WaitSync;
         return false;
     }
 
@@ -233,6 +257,7 @@ CoreModel::serialize(Serializer &s) const
     s.u64(stats_.loadStallCycles);
     s.u64(stats_.robStallCycles);
     s.u64(stats_.storeStallCycles);
+    s.u64(stats_.syncStallCycles);
 }
 
 void
@@ -246,6 +271,7 @@ CoreModel::deserialize(SectionReader &r)
     stats_.loadStallCycles = r.u64();
     stats_.robStallCycles = r.u64();
     stats_.storeStallCycles = r.u64();
+    stats_.syncStallCycles = r.u64();
     state_ = State::Finished;
     loads_.clear();
     depWait_.reset();
@@ -277,6 +303,9 @@ CoreModel::addStats(StatGroup &group) const
     group.addScalar("store_stall_cycles",
                     "cycles stalled on a full store queue",
                     &stats_.storeStallCycles);
+    group.addScalar("sync_stall_cycles",
+                    "cycles blocked on replayed synchronization events",
+                    &stats_.syncStallCycles);
 }
 
 } // namespace cgct

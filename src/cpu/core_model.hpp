@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 
 #include "common/config.hpp"
@@ -26,7 +27,22 @@ namespace cgct {
 class Serializer;
 class SectionReader;
 
-/** Produces per-processor operation streams (the workload generator). */
+/** Outcome of one timing-aware OpSource fetch. */
+enum class OpFetch : std::uint8_t {
+    Op,      ///< @p op holds the next operation.
+    Blocked, ///< Lane is waiting on a synchronization event; the source
+             ///< will invoke the CPU's bound waiter when it unblocks.
+    End,     ///< Stream exhausted (or paused, see setPauseAt users).
+};
+
+/**
+ * Produces per-processor operation streams: the synthetic generator, a
+ * trace replayer, or a capture tee around either. Simple sources only
+ * implement next(); sources that replay explicit synchronization events
+ * (trace lanes with barrier/lock/signal records) override fetch() and
+ * the wiring hooks below, so cross-lane waits are re-created in
+ * simulated time at the core interface.
+ */
 class OpSource
 {
   public:
@@ -34,6 +50,35 @@ class OpSource
 
     /** Next op for @p cpu; false when the stream is exhausted. */
     virtual bool next(CpuId cpu, CpuOp &op) = 0;
+
+    /**
+     * Timing-aware fetch. @p now is the core's local clock; the source
+     * may raise it (a synchronization event resolved inline, e.g. the
+     * last lane arriving at a barrier). Returns Blocked when the lane
+     * must wait for another lane; the source later invokes the waiter
+     * bound for @p cpu (from event-queue context) with the release
+     * time. The default forwards to next() and never blocks.
+     */
+    virtual OpFetch
+    fetch(CpuId cpu, Tick &now, CpuOp &op)
+    {
+        (void)now;
+        return next(cpu, op) ? OpFetch::Op : OpFetch::End;
+    }
+
+    /** Event-queue hookup for sources that schedule wakeups. Called by
+     *  System's constructor before any core is built. */
+    virtual void attach(EventQueue &eq) { (void)eq; }
+
+    /** Bind the callback a Blocked fetch for @p cpu is resumed
+     *  through. Invoked from event-queue context with the release
+     *  time. Called once per core, at core construction. */
+    virtual void
+    bindWaiter(CpuId cpu, std::function<void(Tick)> wake)
+    {
+        (void)cpu;
+        (void)wake;
+    }
 };
 
 /** One simulated processor core. */
@@ -60,6 +105,7 @@ class CoreModel
         std::uint64_t loadStallCycles = 0;
         std::uint64_t robStallCycles = 0;
         std::uint64_t storeStallCycles = 0;
+        std::uint64_t syncStallCycles = 0; ///< Trace sync-event waits.
     };
 
     const Stats &stats() const { return stats_; }
@@ -82,6 +128,10 @@ class CoreModel
      */
     void resume();
 
+    /** True while the op source has this core blocked on a trace
+     *  synchronization event (barrier / contended lock / wait). */
+    bool waitingOnSync() const { return state_ == State::WaitSync; }
+
   private:
     enum class State : std::uint8_t {
         Running,
@@ -89,6 +139,7 @@ class CoreModel
         WaitLoadDep,   ///< Pipeline serialized on a dependent load.
         WaitRobHead,   ///< Oldest outstanding load pins the ROB.
         WaitStore,     ///< Store queue full.
+        WaitSync,      ///< Blocked on a trace synchronization event.
         Draining,      ///< Stream done; waiting for outstanding ops.
         Finished,
     };
@@ -111,6 +162,9 @@ class CoreModel
 
     /** A memory completion arrived; wake the core if it was waiting. */
     void wake(Tick ready);
+
+    /** The op source released this core's sync wait (event context). */
+    void syncWake(Tick release);
 
     void scheduleRun(Tick when);
     void checkDrained();

@@ -6,18 +6,25 @@
 #include "common/thread_pool.hpp"
 #include "sim/system.hpp"
 #include "workload/generator.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_replay.hpp"
 
 namespace cgct {
 
 void
-scheduleWarmupCheck(System &sys, SyntheticWorkload &workload,
+scheduleWarmupCheck(System &sys, std::function<std::uint64_t()> min_ops,
                     std::uint64_t warmup_ops, Tick *measure_start,
                     bool *done)
 {
     constexpr Tick kCheckInterval = 5000;
-    sys.eq().scheduleIn(kCheckInterval, [&sys, &workload, warmup_ops,
+    sys.eq().scheduleIn(kCheckInterval, [&sys, min_ops, warmup_ops,
                                          measure_start, done] {
-        if (workload.minOpsDrawn() >= warmup_ops) {
+        // A run that completed before this check has nothing left to
+        // measure — resetting stats now would zero the whole result
+        // and put measure_start past the final clock.
+        if (sys.allCoresFinished())
+            return;
+        if (min_ops() >= warmup_ops) {
             *measure_start = sys.eq().now();
             sys.resetStats(sys.eq().now());
             if (done)
@@ -25,7 +32,7 @@ scheduleWarmupCheck(System &sys, SyntheticWorkload &workload,
             return; // Warmed up: stop checking.
         }
         if (!sys.allCoresFinished())
-            scheduleWarmupCheck(sys, workload, warmup_ops, measure_start,
+            scheduleWarmupCheck(sys, min_ops, warmup_ops, measure_start,
                                 done);
     });
 }
@@ -36,12 +43,24 @@ simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
 {
     SyntheticWorkload workload(profile, config.topology.numCpus,
                                opts.opsPerCpu, opts.seed);
-    System sys(config, workload);
+    // With a capture path, tee every consumed op into a v2 trace; the
+    // tee is transparent, so captured and plain runs are identical.
+    std::unique_ptr<TraceCapture> capture;
+    OpSource *source = &workload;
+    if (!opts.capturePath.empty()) {
+        capture = std::make_unique<TraceCapture>(
+            workload, opts.capturePath, config.topology.numCpus,
+            opts.opsPerCpu);
+        source = capture.get();
+    }
+    System sys(config, *source);
 
     Tick measure_start = 0;
     sys.start();
     if (opts.warmupOps > 0 && opts.warmupOps < opts.opsPerCpu)
-        scheduleWarmupCheck(sys, workload, opts.warmupOps, &measure_start);
+        scheduleWarmupCheck(
+            sys, [&workload] { return workload.minOpsDrawn(); },
+            opts.warmupOps, &measure_start);
 
     const std::uint64_t executed = sys.eq().run(opts.maxEvents);
     if (executed >= opts.maxEvents)
@@ -50,16 +69,72 @@ simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
     if (!sys.allCoresFinished())
         panic("simulateOnce: event queue drained before cores finished");
 
-    return collectRunResult(sys, profile, opts.seed, measure_start);
+    if (capture)
+        capture->finish();
+    return collectRunResult(sys, profile.name, opts.seed, measure_start);
 }
 
 RunResult
-collectRunResult(System &sys, const WorkloadProfile &profile,
+simulateReplay(const SystemConfig &config, const std::string &trace_path,
+               const RunOptions &opts, std::ostream *stats_out)
+{
+    const std::string name = "trace:" + trace_path;
+    if (traceFileVersion(trace_path) == kTraceVersion1) {
+        TraceReader reader(trace_path);
+        if (reader.numCpus() != config.topology.numCpus)
+            fatal("trace has %u CPUs but the system has %u",
+                  reader.numCpus(), config.topology.numCpus);
+        System sys(config, reader);
+        sys.start();
+        const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+        if (executed >= opts.maxEvents)
+            fatal("simulateReplay: event cap hit (%llu) — runaway "
+                  "simulation?",
+                  static_cast<unsigned long long>(opts.maxEvents));
+        if (!sys.allCoresFinished())
+            panic("simulateReplay: event queue drained before cores "
+                  "finished");
+        RunResult r = collectRunResult(sys, name, opts.seed,
+                                       /*measure_start=*/0);
+        if (stats_out)
+            sys.dumpStats(*stats_out);
+        return r;
+    }
+
+    TraceReplay replay(trace_path);
+    if (replay.numLanes() != config.topology.numCpus)
+        fatal("trace has %u lanes but the system has %u CPUs",
+              replay.numLanes(), config.topology.numCpus);
+    System sys(config, replay);
+
+    Tick measure_start = 0;
+    sys.start();
+    if (opts.warmupOps > 0 && opts.warmupOps < replay.maxLaneMemOps())
+        scheduleWarmupCheck(
+            sys, [&replay] { return replay.minOpsConsumed(); },
+            opts.warmupOps, &measure_start);
+
+    const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+    if (executed >= opts.maxEvents)
+        fatal("simulateReplay: event cap hit (%llu) — runaway "
+              "simulation?",
+              static_cast<unsigned long long>(opts.maxEvents));
+    if (!sys.allCoresFinished())
+        panic("simulateReplay: event queue drained before cores "
+              "finished");
+    RunResult r = collectRunResult(sys, name, opts.seed, measure_start);
+    if (stats_out)
+        sys.dumpStats(*stats_out);
+    return r;
+}
+
+RunResult
+collectRunResult(System &sys, const std::string &workload_name,
                  std::uint64_t seed, Tick measure_start)
 {
     const SystemConfig &config = sys.config();
     RunResult r;
-    r.workload = profile.name;
+    r.workload = workload_name;
     r.regionBytes = config.cgct.enabled ? config.cgct.regionBytes : 0;
     r.seed = seed;
     r.cycles = sys.maxCoreClock() - measure_start;

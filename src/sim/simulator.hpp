@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +53,13 @@ struct RunOptions {
     std::uint64_t seed = 1;
     /** Hard event cap (runaway guard). */
     std::uint64_t maxEvents = 2000000000ULL;
+    /**
+     * When set, tee every op the simulation consumes into a v2 trace
+     * file at this path (TraceCapture). Replaying the capture under
+     * the same configuration reproduces the run's statistics
+     * byte-for-byte (see docs/TRACE_FORMAT.md).
+     */
+    std::string capturePath;
 };
 
 /** Everything measured in one run. */
@@ -140,24 +149,45 @@ class System;
 class SyntheticWorkload;
 
 /**
+ * Replay a recorded trace (either format version) to completion on
+ * @p config and return the full RunResult, exactly as simulateOnce()
+ * would for a generated workload. v2 traces stream through the mmap
+ * replayer with their synchronization events re-created; v1 traces
+ * load eagerly. opts.opsPerCpu is ignored (the trace defines the
+ * stream); opts.warmupOps applies to v2 replays only (v1 traces have
+ * no per-lane progress tracking). When @p stats_out is non-null the
+ * full component statistics are dumped to it before the system is torn
+ * down (the CLI's --stats).
+ */
+RunResult simulateReplay(const SystemConfig &config,
+                         const std::string &trace_path,
+                         const RunOptions &opts,
+                         std::ostream *stats_out = nullptr);
+
+/**
  * Assemble a RunResult from a finished (fully drained) system: request
  * routing, oracle verdicts, traffic, RCA behavior, histograms, the
  * end-of-run invariant sweep, and the captured trace. Shared by
- * simulateOnce() and the checkpoint harness (snapshot/snapshot.hpp).
+ * simulateOnce(), simulateReplay() and the checkpoint harness
+ * (snapshot/snapshot.hpp). @p workload_name labels the result (a
+ * profile name, or "trace:<path>" for replays).
  */
-RunResult collectRunResult(System &sys, const WorkloadProfile &profile,
+RunResult collectRunResult(System &sys, const std::string &workload_name,
                            std::uint64_t seed, Tick measure_start);
 
 /**
- * Arm the periodic warmup check: every 5000 ticks, test whether each CPU
- * has drawn @p warmup_ops operations, and reset the measurement
- * statistics (recording the tick in @p measure_start) once they all
- * have. The event stops rescheduling when every core is finished — at a
- * checkpoint drain as well as at the end of the run — so the checkpoint
- * harness re-arms it each phase and uses @p done (may be null) to know
- * whether the reset already happened.
+ * Arm the periodic warmup check: every 5000 ticks, test whether
+ * @p min_ops (the fewest ops any CPU has consumed — minOpsDrawn() for
+ * the generator, minOpsConsumed() for a trace replay) has reached
+ * @p warmup_ops, and reset the measurement statistics (recording the
+ * tick in @p measure_start) once it has. The event stops rescheduling
+ * when every core is finished — at a checkpoint drain as well as at the
+ * end of the run — so the checkpoint harness re-arms it each phase and
+ * uses @p done (may be null) to know whether the reset already
+ * happened.
  */
-void scheduleWarmupCheck(System &sys, SyntheticWorkload &workload,
+void scheduleWarmupCheck(System &sys,
+                         std::function<std::uint64_t()> min_ops,
                          std::uint64_t warmup_ops, Tick *measure_start,
                          bool *done = nullptr);
 

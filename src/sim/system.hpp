@@ -75,6 +75,9 @@ class System
     bool allCoresFinished() const;
     Tick maxCoreClock() const;
 
+    /** Cores blocked on a trace synchronization event (replay only). */
+    unsigned coresWaitingOnSync() const;
+
     /** Reset all statistics at @p now (end of warmup). */
     void resetStats(Tick now);
 

@@ -1,5 +1,6 @@
 #include "snapshot/serializer.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -96,6 +97,100 @@ xxhash64(const void *data, std::size_t len, std::uint64_t seed)
 
     h += static_cast<std::uint64_t>(len);
 
+    while (p + 8 <= end) {
+        h ^= xxh64Round(0, readLE64(p));
+        h = rotl64(h, 27) * kPrime1 + kPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<std::uint64_t>(readLE32(p)) * kPrime1;
+        h = rotl64(h, 23) * kPrime2 + kPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+        h = rotl64(h, 11) * kPrime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+// ---------------------------------------------------------------------------
+// Xxh64Stream
+
+void
+Xxh64Stream::reset(std::uint64_t seed)
+{
+    seed_ = seed;
+    v1_ = seed + kPrime1 + kPrime2;
+    v2_ = seed + kPrime2;
+    v3_ = seed;
+    v4_ = seed - kPrime1;
+    total_ = 0;
+    buffered_ = 0;
+}
+
+void
+Xxh64Stream::update(const void *data, std::size_t len)
+{
+    const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+    total_ += len;
+
+    if (buffered_ > 0) {
+        const std::size_t take = std::min(len, 32 - buffered_);
+        std::memcpy(buf_ + buffered_, p, take);
+        buffered_ += take;
+        p += take;
+        len -= take;
+        if (buffered_ < 32)
+            return;
+        v1_ = xxh64Round(v1_, readLE64(buf_));
+        v2_ = xxh64Round(v2_, readLE64(buf_ + 8));
+        v3_ = xxh64Round(v3_, readLE64(buf_ + 16));
+        v4_ = xxh64Round(v4_, readLE64(buf_ + 24));
+        buffered_ = 0;
+    }
+
+    while (len >= 32) {
+        v1_ = xxh64Round(v1_, readLE64(p));
+        v2_ = xxh64Round(v2_, readLE64(p + 8));
+        v3_ = xxh64Round(v3_, readLE64(p + 16));
+        v4_ = xxh64Round(v4_, readLE64(p + 24));
+        p += 32;
+        len -= 32;
+    }
+
+    if (len > 0) {
+        std::memcpy(buf_, p, len);
+        buffered_ = len;
+    }
+}
+
+std::uint64_t
+Xxh64Stream::digest() const
+{
+    std::uint64_t h;
+    if (total_ >= 32) {
+        h = rotl64(v1_, 1) + rotl64(v2_, 7) + rotl64(v3_, 12) +
+            rotl64(v4_, 18);
+        h = xxh64MergeRound(h, v1_);
+        h = xxh64MergeRound(h, v2_);
+        h = xxh64MergeRound(h, v3_);
+        h = xxh64MergeRound(h, v4_);
+    } else {
+        h = seed_ + kPrime5;
+    }
+
+    h += total_;
+
+    const std::uint8_t *p = buf_;
+    const std::uint8_t *end = buf_ + buffered_;
     while (p + 8 <= end) {
         h ^= xxh64Round(0, readLE64(p));
         h = rotl64(h, 27) * kPrime1 + kPrime4;

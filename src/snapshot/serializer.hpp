@@ -39,6 +39,30 @@ std::uint64_t xxhash64(const void *data, std::size_t len,
                        std::uint64_t seed = 0);
 
 /**
+ * Streaming XXH64: feed bytes in any chunking; digest() matches the
+ * one-shot xxhash64() over the concatenation. Used where the data never
+ * exists as one buffer (multi-GB trace lane payloads, see
+ * workload/trace.cpp). digest() does not consume the state: more
+ * update() calls may follow.
+ */
+class Xxh64Stream {
+  public:
+    explicit Xxh64Stream(std::uint64_t seed = 0) { reset(seed); }
+
+    void reset(std::uint64_t seed = 0);
+    void update(const void *data, std::size_t len);
+    std::uint64_t digest() const;
+    std::uint64_t totalBytes() const { return total_; }
+
+  private:
+    std::uint64_t v1_, v2_, v3_, v4_;
+    std::uint64_t seed_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint8_t buf_[32];
+    std::size_t buffered_ = 0;
+};
+
+/**
  * Append-only little-endian byte sink with optional sectioning.
  *
  * Primitive writers append raw LE bytes. beginSection()/endSection()
@@ -147,8 +171,10 @@ class Deserializer {
 
 /** The 8-byte magic at offset 0 of every snapshot file. */
 extern const char kSnapshotMagic[8];
-/** Current snapshot format version (header field). */
-constexpr std::uint32_t kSnapshotVersion = 1;
+/** Current snapshot format version (header field). v2: core sections
+ *  gained sync_stall_cycles, and trace-replay runs store a "replay"
+ *  workload section (lane cursors, lock owners, semaphore counts). */
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 /** Build a complete snapshot byte stream: header + sections. */
 std::vector<std::uint8_t> makeSnapshotFile(std::uint64_t fingerprint,

@@ -79,4 +79,23 @@ RunResult simulateCheckpointed(const SystemConfig &config,
                                const RunOptions &opts,
                                const CheckpointOptions &ckpt);
 
+/**
+ * Checkpointed run of a v2 trace replay: pauses every lane at the op
+ * schedule, drains, snapshots (lane byte cursors, lock owners, banked
+ * signals), and resumes — a restored replay continues mid-trace and
+ * finishes byte-identical to an uninterrupted checkpointed run. The
+ * run identity hashed into the header is the trace_id, so a snapshot
+ * refuses to restore against a different (or re-captured) trace file.
+ *
+ * A drain can wedge: if a paused lane holds a lock (or owes a barrier
+ * arrival) that a non-paused lane is blocked on, the event queue runs
+ * dry with cores still waiting. That is detected and reported with
+ * guidance (pick an interval aligned with the trace's synchronization,
+ * or checkpoint less often) instead of producing a corrupt snapshot.
+ */
+RunResult simulateCheckpointedReplay(const SystemConfig &config,
+                                     const std::string &trace_path,
+                                     const RunOptions &opts,
+                                     const CheckpointOptions &ckpt);
+
 } // namespace cgct

@@ -1,23 +1,64 @@
 #include "workload/trace.hpp"
 
+#include <cerrno>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "common/log.hpp"
+#include "common/mapped_file.hpp"
 #include "snapshot/serializer.hpp"
 
 namespace cgct {
 
 namespace {
 
-struct TraceHeader {
-    char magic[4];
-    std::uint32_t version;
-    std::uint32_t numCpus;
-    std::uint32_t pad = 0;
-    std::uint64_t opsPerCpu;
-};
+/** fatal() with errno context for a failed trace I/O operation. */
+[[noreturn]] void
+fatalIo(const char *what, const std::string &path)
+{
+    fatal("trace: %s '%s': %s", what, path.c_str(),
+          std::strerror(errno));
+}
 
-struct TraceRecord {
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Spill a lane buffer to its (unlinked) spool file once it holds this
+ *  much, keeping writer memory bounded for arbitrarily long captures. */
+constexpr std::size_t kSpoolThreshold = 4u << 20;
+
+/** Legacy v1 record, as read from the flat stream. */
+struct V1Record {
     std::uint8_t cpu;
     std::uint8_t kind;
     std::uint8_t flags;
@@ -25,18 +66,8 @@ struct TraceRecord {
     std::uint64_t addr;
 };
 
-void
-writeRecord(std::FILE *f, const TraceRecord &r)
-{
-    std::fwrite(&r.cpu, 1, 1, f);
-    std::fwrite(&r.kind, 1, 1, f);
-    std::fwrite(&r.flags, 1, 1, f);
-    std::fwrite(&r.gap, 4, 1, f);
-    std::fwrite(&r.addr, 8, 1, f);
-}
-
 bool
-readRecord(std::FILE *f, TraceRecord &r)
+readV1Record(std::FILE *f, V1Record &r, const std::string &path)
 {
     if (std::fread(&r.cpu, 1, 1, f) != 1)
         return false;
@@ -44,83 +75,229 @@ readRecord(std::FILE *f, TraceRecord &r)
         std::fread(&r.flags, 1, 1, f) != 1 ||
         std::fread(&r.gap, 4, 1, f) != 1 ||
         std::fread(&r.addr, 8, 1, f) != 1) {
-        fatal("trace: truncated record");
+        fatal("trace: truncated record in '%s'", path.c_str());
     }
     return true;
 }
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path, unsigned num_cpus,
-                         std::uint64_t ops_per_cpu)
+// ---------------------------------------------------------------------------
+// TraceWriter (v2)
+
+TraceWriter::TraceWriter(const std::string &path, unsigned num_lanes,
+                         std::uint64_t ops_declared)
+    : path_(path), opsDeclared_(ops_declared)
 {
-    file_ = std::fopen(path.c_str(), "wb");
-    if (!file_)
-        fatal("trace: cannot open '%s' for writing", path.c_str());
-    TraceHeader h{};
-    std::memcpy(h.magic, kTraceMagic, 4);
-    h.version = kTraceVersion;
-    h.numCpus = num_cpus;
-    h.opsPerCpu = ops_per_cpu;
-    std::fwrite(&h.magic, 4, 1, file_);
-    std::fwrite(&h.version, 4, 1, file_);
-    std::fwrite(&h.numCpus, 4, 1, file_);
-    std::fwrite(&h.pad, 4, 1, file_);
-    std::fwrite(&h.opsPerCpu, 8, 1, file_);
+    if (num_lanes == 0 || num_lanes > kTraceMaxLanes)
+        fatal("trace: %u lanes out of range (1..%u)", num_lanes,
+              kTraceMaxLanes);
+    lanes_.resize(num_lanes);
 }
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    if (open_)
+        close();
 }
 
 void
-TraceWriter::append(CpuId cpu, const CpuOp &op)
+TraceWriter::emit(Lane &lane, const std::uint8_t *bytes, std::size_t n)
 {
-    if (!file_)
+    lane.hash.update(bytes, n);
+    lane.bytes += n;
+    lane.buf.insert(lane.buf.end(), bytes, bytes + n);
+    if (lane.buf.size() < kSpoolThreshold)
+        return;
+    if (!lane.spool) {
+        lane.spool = std::tmpfile();
+        if (!lane.spool)
+            fatalIo("cannot create spool file for", path_);
+    }
+    if (std::fwrite(lane.buf.data(), 1, lane.buf.size(), lane.spool) !=
+        lane.buf.size())
+        fatalIo("cannot spool lane payload for", path_);
+    lane.buf.clear();
+}
+
+void
+TraceWriter::append(CpuId lane, const CpuOp &op)
+{
+    if (!open_)
         panic("trace: append after close");
-    TraceRecord r;
-    r.cpu = static_cast<std::uint8_t>(cpu);
-    r.kind = static_cast<std::uint8_t>(op.kind);
-    r.flags = op.dependent ? 1 : 0;
-    r.gap = op.gap;
-    r.addr = op.addr;
-    writeRecord(file_, r);
+    const auto l = static_cast<unsigned>(lane);
+    if (l >= lanes_.size())
+        fatal("trace: append to lane %u of %zu", l, lanes_.size());
+    std::uint8_t rec[kTraceV2MemRecordBytes];
+    rec[0] = static_cast<std::uint8_t>(op.kind) + kTraceRecFirstMem;
+    rec[1] = op.dependent ? 1 : 0;
+    put32(rec + 2, op.gap);
+    put64(rec + 6, op.addr);
+    emit(lanes_[l], rec, sizeof(rec));
+    ++lanes_[l].memOps;
+    ++records_;
+}
+
+void
+TraceWriter::appendSync(CpuId lane, const SyncRecord &sync)
+{
+    if (!open_)
+        panic("trace: append after close");
+    const auto l = static_cast<unsigned>(lane);
+    if (l >= lanes_.size())
+        fatal("trace: append to lane %u of %zu", l, lanes_.size());
+    std::uint8_t rec[kTraceV2MemRecordBytes];
+    rec[0] = static_cast<std::uint8_t>(sync.op);
+    std::size_t n = 0;
+    if (sync.op == TraceRecOp::barrier) {
+        put32(rec + 1, static_cast<std::uint32_t>(sync.id));
+        put32(rec + 5, sync.participants);
+        n = kTraceV2BarrierRecordBytes;
+    } else if (sync.op == TraceRecOp::lock_acquire ||
+               sync.op == TraceRecOp::lock_release ||
+               sync.op == TraceRecOp::signal ||
+               sync.op == TraceRecOp::wait) {
+        put64(rec + 1, sync.id);
+        n = kTraceV2IdRecordBytes;
+    } else {
+        panic("trace: appendSync with non-sync opcode 0x%02x",
+              static_cast<unsigned>(sync.op));
+    }
+    emit(lanes_[l], rec, n);
+    ++lanes_[l].syncOps;
     ++records_;
 }
 
 void
 TraceWriter::close()
 {
-    if (file_) {
-        std::fclose(file_);
-        file_ = nullptr;
+    if (!open_)
+        return;
+    open_ = false;
+
+    // Terminate every lane payload with an end record.
+    for (auto &lane : lanes_) {
+        const std::uint8_t end =
+            static_cast<std::uint8_t>(TraceRecOp::end);
+        lane.hash.update(&end, 1);
+        lane.bytes += 1;
+        lane.buf.push_back(end);
+    }
+
+    // Lay out the directory: payloads are contiguous after it.
+    const std::uint32_t n = static_cast<std::uint32_t>(lanes_.size());
+    std::vector<std::uint8_t> dir(n * kTraceV2LaneDirBytes);
+    std::uint64_t offset =
+        kTraceV2HeaderBytes + n * kTraceV2LaneDirBytes;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint8_t *e = dir.data() + i * kTraceV2LaneDirBytes;
+        put64(e + 0, offset);
+        put64(e + 8, lanes_[i].bytes);
+        put64(e + 16, lanes_[i].memOps);
+        put64(e + 24, lanes_[i].syncOps);
+        put64(e + 32, lanes_[i].hash.digest());
+        offset += lanes_[i].bytes;
+    }
+
+    std::uint8_t header[kTraceV2HeaderBytes];
+    std::memcpy(header, kTraceMagic, 4);
+    put32(header + 4, kTraceVersion2);
+    put32(header + 8, 0); // flags
+    put32(header + 12, n);
+    put64(header + 16, opsDeclared_);
+    put64(header + 24, kTraceV2HeaderBytes);
+    put64(header + 32, xxhash64(dir.data(), dir.size()));
+    Xxh64Stream id;
+    id.update(header, 40);
+    id.update(dir.data(), dir.size());
+    put64(header + 40, id.digest());
+
+    // Assemble "<path>.tmp", fsync, then atomically rename into place.
+    const std::string tmp = path_ + ".tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (!out)
+        fatalIo("cannot open for writing", tmp);
+    if (std::fwrite(header, 1, sizeof(header), out) != sizeof(header) ||
+        std::fwrite(dir.data(), 1, dir.size(), out) != dir.size())
+        fatalIo("write failed on", tmp);
+    std::vector<std::uint8_t> chunk(1u << 20);
+    for (auto &lane : lanes_) {
+        if (lane.spool) {
+            std::rewind(lane.spool);
+            std::size_t got;
+            while ((got = std::fread(chunk.data(), 1, chunk.size(),
+                                     lane.spool)) > 0) {
+                if (std::fwrite(chunk.data(), 1, got, out) != got)
+                    fatalIo("write failed on", tmp);
+            }
+            if (std::ferror(lane.spool))
+                fatalIo("cannot read back spool file for", path_);
+            std::fclose(lane.spool);
+            lane.spool = nullptr;
+        }
+        if (!lane.buf.empty() &&
+            std::fwrite(lane.buf.data(), 1, lane.buf.size(), out) !=
+                lane.buf.size())
+            fatalIo("write failed on", tmp);
+        lane.buf.clear();
+        lane.buf.shrink_to_fit();
+    }
+    if (std::fflush(out) != 0 || ::fsync(::fileno(out)) != 0)
+        fatalIo("cannot flush", tmp);
+    if (std::fclose(out) != 0)
+        fatalIo("cannot close", tmp);
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        fatalIo("cannot publish (rename) trace to", path_);
+    fsyncDirOf(path_);
+}
+
+void
+TraceWriter::discard()
+{
+    open_ = false;
+    for (auto &lane : lanes_) {
+        if (lane.spool) {
+            std::fclose(lane.spool);
+            lane.spool = nullptr;
+        }
+        lane.buf.clear();
     }
 }
+
+// ---------------------------------------------------------------------------
+// TraceReader (legacy v1)
 
 TraceReader::TraceReader(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        fatal("trace: cannot open '%s'", path.c_str());
+        fatal("trace: cannot open '%s': %s", path.c_str(),
+              std::strerror(errno));
     char magic[4];
     std::uint32_t version = 0, pad = 0;
     if (std::fread(magic, 4, 1, f) != 1 ||
         std::memcmp(magic, kTraceMagic, 4) != 0)
         fatal("trace: '%s' is not a CGCT trace", path.c_str());
-    if (std::fread(&version, 4, 1, f) != 1 || version != kTraceVersion)
-        fatal("trace: unsupported version in '%s'", path.c_str());
+    if (std::fread(&version, 4, 1, f) != 1)
+        fatal("trace: truncated header in '%s'", path.c_str());
+    if (version == kTraceVersion2)
+        fatal("trace: '%s' is a v2 trace — use the streaming replayer "
+              "(TraceReplay / cgct_sim --replay handles both versions)",
+              path.c_str());
+    if (version != kTraceVersion1)
+        fatal("trace: unsupported version %u in '%s'", version,
+              path.c_str());
     if (std::fread(&numCpus_, 4, 1, f) != 1 ||
         std::fread(&pad, 4, 1, f) != 1 ||
         std::fread(&opsPerCpu_, 8, 1, f) != 1)
         fatal("trace: truncated header in '%s'", path.c_str());
-    if (numCpus_ == 0 || numCpus_ > 1024)
+    if (numCpus_ == 0 || numCpus_ > kTraceMaxLanes)
         fatal("trace: implausible CPU count %u", numCpus_);
 
     perCpu_.resize(numCpus_);
     cursor_.assign(numCpus_, 0);
-    TraceRecord r;
-    while (readRecord(f, r)) {
+    V1Record r;
+    while (readV1Record(f, r, path)) {
         if (r.cpu >= numCpus_)
             fatal("trace: record for CPU %u out of range", r.cpu);
         CpuOp op;
@@ -174,6 +351,311 @@ TraceReader::deserialize(SectionReader &r)
         cur = static_cast<std::size_t>(r.u64());
 }
 
+// ---------------------------------------------------------------------------
+// Inspection helpers
+
+std::uint32_t
+traceFileVersion(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("trace: cannot open '%s': %s", path.c_str(),
+              std::strerror(errno));
+    std::uint8_t head[8];
+    if (std::fread(head, 1, 8, f) != 8 ||
+        std::memcmp(head, kTraceMagic, 4) != 0) {
+        std::fclose(f);
+        fatal("trace: '%s' is not a CGCT trace", path.c_str());
+    }
+    std::fclose(f);
+    return get32(head + 4);
+}
+
+std::string
+parseTraceV2Header(const std::uint8_t *data, std::uint64_t file_bytes,
+                   TraceInfo &out)
+{
+    if (file_bytes < 4 || std::memcmp(data, kTraceMagic, 4) != 0)
+        return "not a CGCT trace";
+    if (file_bytes < kTraceV2HeaderBytes)
+        return "truncated header";
+    const std::uint32_t version = get32(data + 4);
+    if (version != kTraceVersion2)
+        return "unsupported version " + std::to_string(version);
+    if (get32(data + 8) != 0)
+        return "nonzero reserved flags";
+    const std::uint32_t n = get32(data + 12);
+    if (n == 0 || n > kTraceMaxLanes)
+        return "implausible lane count " + std::to_string(n);
+    if (get64(data + 24) != kTraceV2HeaderBytes)
+        return "bad directory offset";
+    const std::uint64_t dir_bytes =
+        static_cast<std::uint64_t>(n) * kTraceV2LaneDirBytes;
+    if (file_bytes < kTraceV2HeaderBytes + dir_bytes)
+        return "truncated lane directory";
+    const std::uint8_t *dir = data + kTraceV2HeaderBytes;
+    if (get64(data + 32) != xxhash64(dir, dir_bytes))
+        return "lane directory checksum mismatch";
+    {
+        Xxh64Stream id;
+        id.update(data, 40);
+        id.update(dir, dir_bytes);
+        if (get64(data + 40) != id.digest())
+            return "trace id mismatch";
+    }
+
+    out.version = version;
+    out.numLanes = n;
+    out.opsDeclared = get64(data + 16);
+    out.traceId = get64(data + 40);
+    out.fileBytes = file_bytes;
+    out.lanes.clear();
+    std::uint64_t expect = kTraceV2HeaderBytes + dir_bytes;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint8_t *e = dir + i * kTraceV2LaneDirBytes;
+        TraceInfo::Lane lane;
+        lane.payloadOffset = get64(e + 0);
+        lane.payloadBytes = get64(e + 8);
+        lane.memOps = get64(e + 16);
+        lane.syncOps = get64(e + 24);
+        lane.payloadHash = get64(e + 32);
+        if (lane.payloadOffset != expect)
+            return "lane " + std::to_string(i) +
+                   " payload offset out of order";
+        if (lane.payloadBytes == 0)
+            return "lane " + std::to_string(i) + " has no payload";
+        if (lane.payloadBytes > file_bytes ||
+            lane.payloadOffset > file_bytes - lane.payloadBytes)
+            return "lane " + std::to_string(i) +
+                   " payload out of range (wrapped or truncated)";
+        expect = lane.payloadOffset + lane.payloadBytes;
+        out.lanes.push_back(lane);
+    }
+    if (expect != file_bytes)
+        return "trailing bytes after the last lane payload";
+    return "";
+}
+
+TraceInfo
+readTraceInfo(const std::string &path)
+{
+    TraceInfo info;
+    const std::uint32_t version = traceFileVersion(path);
+    if (version == kTraceVersion1) {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            fatal("trace: cannot open '%s': %s", path.c_str(),
+                  std::strerror(errno));
+        std::uint8_t head[kTraceV1HeaderBytes];
+        if (std::fread(head, 1, sizeof(head), f) != sizeof(head)) {
+            std::fclose(f);
+            fatal("trace: truncated header in '%s'", path.c_str());
+        }
+        std::fseek(f, 0, SEEK_END);
+        info.fileBytes = static_cast<std::uint64_t>(std::ftell(f));
+        std::fclose(f);
+        info.version = version;
+        info.numLanes = get32(head + 8);
+        info.opsDeclared = get64(head + 16);
+        return info;
+    }
+
+    MappedFile map;
+    const std::string err = map.open(path);
+    if (!err.empty())
+        fatal("trace: %s", err.c_str());
+    const std::string perr =
+        parseTraceV2Header(map.data(), map.size(), info);
+    if (!perr.empty())
+        fatal("trace: '%s': %s", path.c_str(), perr.c_str());
+    return info;
+}
+
+std::string
+decodeTraceRecord(const std::uint8_t *p, std::size_t avail,
+                  DecodedRecord &out)
+{
+    if (avail == 0)
+        return "record runs past the lane payload";
+    const std::uint8_t opcode = p[0];
+    if (opcode == static_cast<std::uint8_t>(TraceRecOp::end)) {
+        out.op = TraceRecOp::end;
+        out.bytes = 1;
+        return "";
+    }
+    if (opcode >= kTraceRecFirstMem && opcode <= kTraceRecLastMem) {
+        if (avail < kTraceV2MemRecordBytes)
+            return "truncated memory record";
+        out.op = static_cast<TraceRecOp>(opcode);
+        out.mem.kind =
+            static_cast<CpuOpKind>(opcode - kTraceRecFirstMem);
+        out.mem.dependent = (p[1] & 1) != 0;
+        out.mem.gap = get32(p + 2);
+        out.mem.addr = get64(p + 6);
+        out.bytes = kTraceV2MemRecordBytes;
+        return "";
+    }
+    switch (static_cast<TraceRecOp>(opcode)) {
+      case TraceRecOp::barrier:
+        if (avail < kTraceV2BarrierRecordBytes)
+            return "truncated barrier record";
+        out.op = TraceRecOp::barrier;
+        out.sync.op = TraceRecOp::barrier;
+        out.sync.id = get32(p + 1);
+        out.sync.participants = get32(p + 5);
+        out.bytes = kTraceV2BarrierRecordBytes;
+        return "";
+      case TraceRecOp::lock_acquire:
+      case TraceRecOp::lock_release:
+      case TraceRecOp::signal:
+      case TraceRecOp::wait:
+        if (avail < kTraceV2IdRecordBytes)
+            return "truncated synchronization record";
+        out.op = static_cast<TraceRecOp>(opcode);
+        out.sync.op = out.op;
+        out.sync.id = get64(p + 1);
+        out.sync.participants = 0;
+        out.bytes = kTraceV2IdRecordBytes;
+        return "";
+      default:
+        return "unknown record opcode 0x" + [opcode] {
+            char buf[3];
+            std::snprintf(buf, sizeof(buf), "%02x", opcode);
+            return std::string(buf);
+        }();
+    }
+}
+
+namespace {
+
+/** Index into TraceScan::syncCount for a sync opcode. */
+int
+syncIndex(TraceRecOp op)
+{
+    switch (op) {
+      case TraceRecOp::barrier: return 0;
+      case TraceRecOp::lock_acquire: return 1;
+      case TraceRecOp::lock_release: return 2;
+      case TraceRecOp::signal: return 3;
+      case TraceRecOp::wait: return 4;
+      default: return -1;
+    }
+}
+
+void
+scanOp(TraceScan &scan, const CpuOp &op)
+{
+    ++scan.memOps;
+    ++scan.kindCount[static_cast<unsigned>(op.kind)];
+    scan.gapSum += op.gap;
+    if (op.addr < scan.minAddr)
+        scan.minAddr = op.addr;
+    if (op.addr > scan.maxAddr)
+        scan.maxAddr = op.addr;
+}
+
+/**
+ * Walk one v2 lane payload, recomputing its hash and validating every
+ * record; accumulates into @p scan. Returns an error message or "".
+ */
+std::string
+walkLane(const std::uint8_t *payload, std::uint64_t bytes,
+         const TraceInfo::Lane &meta, std::uint32_t lane_index,
+         std::uint32_t num_lanes, TraceScan &scan, bool check_hash)
+{
+    const std::string lane = "lane " + std::to_string(lane_index);
+    if (check_hash && xxhash64(payload, bytes) != meta.payloadHash)
+        return lane + " payload checksum mismatch";
+    std::uint64_t off = 0, mem = 0, sync = 0;
+    bool ended = false;
+    while (off < bytes) {
+        DecodedRecord rec;
+        const std::string err =
+            decodeTraceRecord(payload + off, bytes - off, rec);
+        if (!err.empty())
+            return lane + ": " + err;
+        off += rec.bytes;
+        if (rec.op == TraceRecOp::end) {
+            ended = true;
+            break;
+        }
+        if (rec.op >= TraceRecOp::barrier) {
+            if (rec.op == TraceRecOp::barrier &&
+                rec.sync.participants > num_lanes)
+                return lane + ": barrier participants " +
+                       std::to_string(rec.sync.participants) +
+                       " exceed the lane count";
+            ++sync;
+            ++scan.syncOps;
+            ++scan.syncCount[syncIndex(rec.op)];
+        } else {
+            ++mem;
+            scanOp(scan, rec.mem);
+        }
+    }
+    if (!ended)
+        return lane + " payload is missing its end record";
+    if (off != bytes)
+        return lane + " has trailing bytes after the end record";
+    if (mem != meta.memOps || sync != meta.syncOps)
+        return lane + " record counts do not match the directory";
+    return "";
+}
+
+std::string
+walkV2(const std::string &path, TraceScan &scan, bool check_hash)
+{
+    MappedFile map;
+    std::string err = map.open(path);
+    if (!err.empty())
+        return err;
+    TraceInfo info;
+    err = parseTraceV2Header(map.data(), map.size(), info);
+    if (!err.empty())
+        return err;
+    for (std::uint32_t i = 0; i < info.numLanes; ++i) {
+        const auto &lane = info.lanes[i];
+        err = walkLane(map.data() + lane.payloadOffset,
+                       lane.payloadBytes, lane, i, info.numLanes, scan,
+                       check_hash);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+} // namespace
+
+TraceScan
+scanTrace(const std::string &path)
+{
+    TraceScan scan;
+    if (traceFileVersion(path) == kTraceVersion1) {
+        TraceReader reader(path);
+        for (unsigned cpu = 0; cpu < reader.numCpus(); ++cpu)
+            for (const CpuOp &op : reader.laneOps(cpu))
+                scanOp(scan, op);
+        return scan;
+    }
+    const std::string err = walkV2(path, scan, /*check_hash=*/false);
+    if (!err.empty())
+        fatal("trace: '%s': %s", path.c_str(), err.c_str());
+    return scan;
+}
+
+std::string
+verifyTrace(const std::string &path)
+{
+    if (traceFileVersion(path) != kTraceVersion2)
+        return "'" + path + "' is not a v2 trace (nothing to verify; "
+               "upgrade it with `cgct_trace upgrade`)";
+    TraceScan scan;
+    return walkV2(path, scan, /*check_hash=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Offline capture
+
 std::uint64_t
 captureTrace(OpSource &source, unsigned num_cpus,
              std::uint64_t ops_per_cpu, const std::string &path)
@@ -197,8 +679,9 @@ captureTrace(OpSource &source, unsigned num_cpus,
             }
         }
     }
+    const std::uint64_t written = writer.recordsWritten();
     writer.close();
-    return writer.recordsWritten();
+    return written;
 }
 
 } // namespace cgct

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * On-disk constants for the CGCT trace formats. The byte-level contract
+ * lives in docs/TRACE_FORMAT.md; this header is the single place the
+ * code states the same numbers, and tools/check_docs.sh cross-checks the
+ * two (every record type in the X-macro below must appear in the spec).
+ *
+ * v1 (legacy): flat interleaved stream, 15 bytes per op, read eagerly.
+ * v2 (current): per-lane contiguous payloads behind a lane directory,
+ * explicit synchronization records, mmap-friendly streaming decode.
+ * Everything is little-endian.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace cgct {
+
+/** Magic bytes shared by every trace version. */
+inline constexpr char kTraceMagic[4] = {'C', 'G', 'C', 'T'};
+
+/** Legacy flat format (PR 3 era). Still readable, no longer written. */
+inline constexpr std::uint32_t kTraceVersion1 = 1;
+/** Current lane-directory format (docs/TRACE_FORMAT.md). */
+inline constexpr std::uint32_t kTraceVersion2 = 2;
+
+/** Size of the v1 header and of one v1 record. */
+inline constexpr std::size_t kTraceV1HeaderBytes = 24;
+inline constexpr std::size_t kTraceV1RecordBytes = 15;
+
+/**
+ * v2 file header, 48 bytes at offset 0:
+ *
+ *   off  size  field
+ *   0    4     magic "CGCT"
+ *   4    4     version (= 2)
+ *   8    4     flags (reserved, must be 0)
+ *   12   4     num_lanes
+ *   16   8     ops_declared (capture metadata: intended mem ops/lane)
+ *   24   8     directory_offset (= 48)
+ *   32   8     directory_hash (xxhash64 over the directory bytes)
+ *   40   8     trace_id (xxhash64 over header bytes 0..39 ++ directory)
+ */
+inline constexpr std::size_t kTraceV2HeaderBytes = 48;
+
+/**
+ * One v2 lane-directory entry, 40 bytes, num_lanes of them at
+ * directory_offset:
+ *
+ *   off  size  field
+ *   0    8     payload_offset (absolute, ascending, non-overlapping)
+ *   8    8     payload_bytes
+ *   16   8     mem_ops   (memory records in the lane)
+ *   24   8     sync_ops  (synchronization records in the lane)
+ *   32   8     payload_hash (xxhash64; verified by `cgct_trace verify`)
+ */
+inline constexpr std::size_t kTraceV2LaneDirBytes = 40;
+
+/** Hard sanity cap on lanes (matches the v1 CPU-count cap). */
+inline constexpr std::uint32_t kTraceMaxLanes = 1024;
+
+/**
+ * v2 record opcodes (first byte of every record) and payload layouts.
+ * Memory records:   opcode u8, flags u8 (bit0 = dependent load),
+ *                   gap u32, addr u64                       -> 14 bytes
+ * end:              opcode only                             -> 1 byte
+ * barrier:          opcode u8, barrier_id u32,
+ *                   participants u32 (0 = all lanes)        -> 9 bytes
+ * lock_acquire/
+ * lock_release:     opcode u8, lock_id u64                  -> 9 bytes
+ * signal/wait:      opcode u8, cond_id u64                  -> 9 bytes
+ *
+ * The X-macro is the canonical list; check_docs.sh extracts it and
+ * fails CI unless docs/TRACE_FORMAT.md documents every name.
+ */
+#define CGCT_TRACE_V2_RECORD_TYPES \
+    X(end, 0x00)                   \
+    X(ifetch, 0x01)                \
+    X(load, 0x02)                  \
+    X(store, 0x03)                 \
+    X(dcbz, 0x04)                  \
+    X(dcbf, 0x05)                  \
+    X(dcbi, 0x06)                  \
+    X(barrier, 0x10)               \
+    X(lock_acquire, 0x11)          \
+    X(lock_release, 0x12)          \
+    X(signal, 0x13)                \
+    X(wait, 0x14)
+
+enum class TraceRecOp : std::uint8_t {
+#define X(name, value) name = value,
+    CGCT_TRACE_V2_RECORD_TYPES
+#undef X
+};
+
+/** First memory opcode; mem opcodes are CpuOpKind + 1 in order. */
+inline constexpr std::uint8_t kTraceRecFirstMem = 0x01;
+/** Last memory opcode. */
+inline constexpr std::uint8_t kTraceRecLastMem = 0x06;
+
+inline constexpr std::size_t kTraceV2MemRecordBytes = 14;
+inline constexpr std::size_t kTraceV2BarrierRecordBytes = 9;
+inline constexpr std::size_t kTraceV2IdRecordBytes = 9;
+
+/** One synchronization event, decoded form. */
+struct SyncRecord {
+    TraceRecOp op = TraceRecOp::barrier;
+    /** lock_id / cond_id, or the barrier_id for barrier records. */
+    std::uint64_t id = 0;
+    /** Barrier only: lanes in the rendezvous (0 = every lane). */
+    std::uint32_t participants = 0;
+};
+
+} // namespace cgct

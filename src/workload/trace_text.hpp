@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text-trace ingestion: converts a SynchroTrace-style event log into a
+ * v2 binary trace (docs/TRACE_FORMAT.md#text-format). Three event
+ * shapes are accepted, one per line:
+ *
+ *   computation   eid,tid,iops,flops,reads,writes [$ start end]... [* start end]...
+ *   communication eid,tid # prod_tid prod_eid start end [# ...]...
+ *   pthread       eid,tid,pth_ty:TYPE^ADDR[,TYPE^ADDR]...
+ *
+ * Threads map to lanes in order of first appearance. Computation
+ * events emit one Load per '$' range and one Store per '*' range, with
+ * the iops+flops instruction count spread across them as the gap (and
+ * carried to the next event when a line has no ranges). Communication
+ * reads become dependent Loads (consume edges serialize the pipeline).
+ * pthread types map to v2 sync records: 1/8 lock_acquire,
+ * 2/9 lock_release, 3/7 signal, 4/6 wait, 5 barrier (all lanes).
+ * Lines starting with '#' and blank lines are ignored.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cgct {
+
+/** What a conversion ingested and produced. */
+struct TraceTextStats {
+    std::uint64_t lines = 0;      ///< Non-blank, non-comment lines.
+    std::uint64_t compEvents = 0;
+    std::uint64_t commEvents = 0;
+    std::uint64_t syncEvents = 0; ///< pthread events converted.
+    std::uint64_t memOps = 0;     ///< Memory records written.
+    std::uint32_t lanes = 0;      ///< Distinct threads seen.
+};
+
+/**
+ * Convert the text log at @p in_path into a v2 trace at @p out_path
+ * (written atomically). fatal() with the line number on any parse
+ * error.
+ */
+TraceTextStats convertTextTrace(const std::string &in_path,
+                                const std::string &out_path);
+
+} // namespace cgct

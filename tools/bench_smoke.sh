@@ -3,7 +3,8 @@
 # gates.
 #
 #   tools/bench_smoke.sh <bench_event_queue-binary> [repo-root] \
-#                        [bench_memory_system-binary]
+#                        [bench_memory_system-binary] \
+#                        [bench_trace_replay-binary]
 #
 # 1. Runs bench_event_queue for a few iterations. The binary itself
 #    enforces the zero-allocation contract (it exits non-zero if the
@@ -24,14 +25,21 @@
 # 5. When the bench_memory_system binary is given, runs it too: its
 #    measured loops (SoA cache/RCA lookups, open-addressed MSHR churn,
 #    pooled waiter queues) enforce their own zero-allocation contract.
+# 6. When the bench_trace_replay binary is given, runs the trace
+#    frontend bench and holds replay_ops_per_sec to a fraction of
+#    BENCH_trace.json (CGCT_BENCH_TRACE_MIN_FRAC, default 0.45) AND
+#    requires replay to stay at least as fast as the synthetic
+#    generator — mmap streaming decode regressing below generation
+#    speed would make --replay the frontend bottleneck.
 #
 # Wired into ctest as the `bench_smoke` test (see tests/CMakeLists.txt).
 
 set -u
 
-bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root] [bench_memory_system-binary]}"
+bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root] [bench_memory_system-binary] [bench_trace_replay-binary]}"
 root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
 membench="${3:-}"
+tracebench="${4:-}"
 
 if [ ! -x "$bench" ]; then
     echo "bench_smoke: bench binary not found: $bench" >&2
@@ -162,6 +170,56 @@ for key, base in ref.items():
 PYEOF
     else
         echo "bench_smoke: python3 missing, skipping memory gate" >&2
+    fi
+fi
+
+# Trace frontend gate: replay decode throughput vs the recorded
+# baseline, plus the structural invariant replay >= generator.
+if [ -n "$tracebench" ]; then
+    if [ ! -x "$tracebench" ]; then
+        echo "bench_smoke: bench_trace_replay binary not found:" \
+             "$tracebench" >&2
+        exit 1
+    fi
+    trace_baseline="$root/BENCH_trace.json"
+    if [ ! -f "$trace_baseline" ]; then
+        echo "bench_smoke: $trace_baseline is missing (record the trace" \
+             "frontend baseline; see docs/PERF.md)" >&2
+        exit 1
+    fi
+    trace_out="$("$tracebench" --ops 1000000)" || {
+        echo "bench_smoke: bench_trace_replay failed" >&2
+        exit 1
+    }
+    json_check "$trace_out" "bench_trace_replay output" \
+        schema ops cpus generator_ops_per_sec capture_ops_per_sec \
+        replay_ops_per_sec replay_vs_generator || exit 1
+    json_check "$(cat "$trace_baseline")" "BENCH_trace.json" \
+        schema date build trace_replay || exit 1
+
+    trace_min_frac="${CGCT_BENCH_TRACE_MIN_FRAC:-0.45}"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$trace_baseline" "$trace_min_frac" <<PYEOF || exit 1
+import json, sys
+fresh = json.loads("""$trace_out""")
+ref = json.load(open(sys.argv[1]))["trace_replay"]
+frac = float(sys.argv[2])
+got = fresh["replay_ops_per_sec"]
+base = ref["replay_ops_per_sec"]
+floor = frac * base
+if got < floor:
+    sys.exit(f"bench_smoke: replay_ops_per_sec {got:.3g} is below "
+             f"{frac} x baseline {base:.3g} (floor {floor:.3g}) — "
+             f"trace decode perf regression?")
+if got < fresh["generator_ops_per_sec"]:
+    sys.exit("bench_smoke: replay decode is slower than the synthetic "
+             "generator — --replay would bottleneck the frontend")
+print(f"bench_smoke: replay {got:.3g} ops/s >= {frac} x baseline "
+      f"{base:.3g}, and {fresh['replay_vs_generator']:.2f}x the "
+      f"generator")
+PYEOF
+    else
+        echo "bench_smoke: python3 missing, skipping trace gate" >&2
     fi
 fi
 

@@ -107,6 +107,7 @@ main(int argc, char **argv)
     bool list = false;
     bool check_invariants = false;
     std::string replay_path;
+    std::string capture_path;
     std::string trace_out;
     std::string trace_format = "jsonl";
     std::uint64_t checkpoint_every = 0;
@@ -146,7 +147,11 @@ main(int argc, char **argv)
                   "concurrency, 1 = serial)");
     parser.addString("replay", &replay_path,
                      "replay this recorded trace file instead of a "
-                     "benchmark");
+                     "benchmark (docs/TRACE_FORMAT.md)");
+    parser.addString("capture", &capture_path,
+                     "record every op the run consumes to this v2 trace "
+                     "file; replaying it reproduces the run's statistics "
+                     "byte-for-byte (requires --seeds 1)");
     parser.addString("trace", &trace_out,
                      "write a structured event trace of the run to this "
                      "path (see docs/TRACING.md)");
@@ -209,14 +214,36 @@ main(int argc, char **argv)
     opts.opsPerCpu = ops;
     opts.warmupOps = warmup ? warmup : ops / 5;
     opts.seed = seed;
+    opts.capturePath = capture_path;
+
+    if (!capture_path.empty()) {
+        if (!replay_path.empty()) {
+            std::fprintf(stderr, "cgct_sim: --capture records a live "
+                                 "run; it cannot combine with "
+                                 "--replay\n");
+            return 1;
+        }
+        if (seeds != 1) {
+            std::fprintf(stderr, "cgct_sim: --capture writes one trace "
+                                 "file, so it requires --seeds 1\n");
+            return 1;
+        }
+    }
 
     const bool checkpointing =
         checkpoint_every || !checkpoint_path.empty() ||
         !restore_path.empty();
     if (checkpointing) {
-        if (!replay_path.empty()) {
-            std::fprintf(stderr, "cgct_sim: checkpoint/restore does not "
-                                 "apply to --replay\n");
+        if (!replay_path.empty() &&
+            traceFileVersion(replay_path) == kTraceVersion1) {
+            std::fprintf(stderr, "cgct_sim: checkpoint/restore needs a "
+                                 "v2 trace (no per-lane cursors in v1 — "
+                                 "run `cgct_trace upgrade` first)\n");
+            return 1;
+        }
+        if (!capture_path.empty()) {
+            std::fprintf(stderr, "cgct_sim: --capture does not combine "
+                                 "with checkpoint/restore\n");
             return 1;
         }
         if (seeds != 1) {
@@ -234,7 +261,14 @@ main(int argc, char **argv)
     }
 
     std::vector<RunResult> results;
-    if (checkpointing) {
+    if (checkpointing && !replay_path.empty()) {
+        CheckpointOptions ckpt;
+        ckpt.everyOps = checkpoint_every;
+        ckpt.writePrefix = checkpoint_path;
+        ckpt.restorePath = restore_path;
+        results.push_back(
+            simulateCheckpointedReplay(config, replay_path, opts, ckpt));
+    } else if (checkpointing) {
         const WorkloadProfile &profile = benchmarkByName(benchmark);
         // Match the first link of simulateSeeds' chain, so a
         // checkpointed run is the same experiment as `--seeds 1`.
@@ -246,39 +280,10 @@ main(int argc, char **argv)
         results.push_back(
             simulateCheckpointed(config, profile, opts, ckpt));
     } else if (!replay_path.empty()) {
-        // Trace replay: drive a System directly from the recorded trace.
-        TraceReader reader(replay_path);
-        if (reader.numCpus() != config.topology.numCpus)
-            fatal("trace has %u CPUs but the system has %u",
-                  reader.numCpus(), config.topology.numCpus);
-        System sys(config, reader);
-        sys.start();
-        sys.eq().run();
-        if (InvariantChecker *checker = sys.invariantChecker()) {
-            const std::string err = checker->checkAll();
-            if (!err.empty())
-                fatal("end-of-run region invariant violation: %s",
-                      err.c_str());
-        }
-        RunResult r;
-        r.workload = "trace:" + replay_path;
-        r.regionBytes = config.cgct.enabled ? config.cgct.regionBytes : 0;
-        r.cycles = sys.maxCoreClock();
-        for (unsigned i = 0; i < sys.numCpus(); ++i) {
-            const auto &ns = sys.node(i).stats();
-            r.requestsTotal += ns.requestsTotal;
-            r.broadcasts += ns.broadcasts;
-            r.directs += ns.directs;
-            r.locals += ns.localCompletes;
-            r.instructions += sys.core(i).instructions();
-        }
-        if (sys.traceSink().enabled()) {
-            r.trace = std::make_shared<const std::vector<TraceEvent>>(
-                sys.traceSink().takeEvents());
-        }
-        results.push_back(r);
-        if (stats)
-            sys.dumpStats(std::cout);
+        // Trace replay: stream the recorded trace through a System and
+        // collect the same RunResult a generated run would produce.
+        results.push_back(simulateReplay(config, replay_path, opts,
+                                         stats ? &std::cout : nullptr));
     } else {
         const WorkloadProfile &profile = benchmarkByName(benchmark);
         // Seed chains are precomputed, so serial and parallel runs

@@ -1,14 +1,17 @@
 /**
  * @file
- * cgct_trace — record and inspect workload traces.
+ * cgct_trace — record, convert, inspect, and verify workload traces
+ * (docs/TRACE_FORMAT.md).
  *
  *   cgct_trace record tpc-w out.trace --ops 100000 --seed 7
+ *   cgct_trace convert events.txt out.trace
+ *   cgct_trace upgrade old-v1.trace new-v2.trace
  *   cgct_trace info out.trace
+ *   cgct_trace verify out.trace
  */
 
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <string>
 
 #include "common/argparse.hpp"
@@ -16,6 +19,7 @@
 #include "workload/benchmarks.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_text.hpp"
 
 using namespace cgct;
 
@@ -40,45 +44,121 @@ cmdRecord(const std::string &benchmark, const std::string &path,
 }
 
 int
+cmdConvert(const std::string &in_path, const std::string &out_path)
+{
+    const TraceTextStats stats = convertTextTrace(in_path, out_path);
+    std::printf("converted %llu events (%llu comp, %llu comm, %llu "
+                "sync) across %u threads\n",
+                static_cast<unsigned long long>(stats.lines),
+                static_cast<unsigned long long>(stats.compEvents),
+                static_cast<unsigned long long>(stats.commEvents),
+                static_cast<unsigned long long>(stats.syncEvents),
+                stats.lanes);
+    std::printf("wrote %llu memory ops to %s\n",
+                static_cast<unsigned long long>(stats.memOps),
+                out_path.c_str());
+    return 0;
+}
+
+int
+cmdUpgrade(const std::string &in_path, const std::string &out_path)
+{
+    if (traceFileVersion(in_path) != kTraceVersion1) {
+        std::fprintf(stderr,
+                     "cgct_trace: '%s' is not a v1 trace — nothing to "
+                     "upgrade\n",
+                     in_path.c_str());
+        return 1;
+    }
+    TraceReader reader(in_path);
+    TraceWriter writer(out_path, reader.numCpus(), reader.opsPerCpu());
+    for (unsigned cpu = 0; cpu < reader.numCpus(); ++cpu)
+        for (const CpuOp &op : reader.laneOps(cpu))
+            writer.append(static_cast<CpuId>(cpu), op);
+    const std::uint64_t written = writer.recordsWritten();
+    writer.close();
+    std::printf("upgraded %s (v1, %llu records) to %s (v2, %u lanes)\n",
+                in_path.c_str(),
+                static_cast<unsigned long long>(written),
+                out_path.c_str(), reader.numCpus());
+    return 0;
+}
+
+int
 cmdInfo(const std::string &path)
 {
-    TraceReader reader(path);
+    const TraceInfo info = readTraceInfo(path);
     std::printf("trace               %s\n", path.c_str());
-    std::printf("processors          %u\n", reader.numCpus());
-    std::printf("declared ops/cpu    %llu\n",
-                static_cast<unsigned long long>(reader.opsPerCpu()));
-    std::printf("records             %llu\n",
-                static_cast<unsigned long long>(reader.totalRecords()));
-
-    // Walk every stream for a composition summary.
-    std::map<CpuOpKind, std::uint64_t> kinds;
-    std::uint64_t gaps = 0;
-    Addr min_addr = ~0ULL, max_addr = 0;
-    for (unsigned cpu = 0; cpu < reader.numCpus(); ++cpu) {
-        CpuOp op;
-        while (reader.next(static_cast<CpuId>(cpu), op)) {
-            ++kinds[op.kind];
-            gaps += op.gap;
-            min_addr = std::min(min_addr, op.addr);
-            max_addr = std::max(max_addr, op.addr);
+    std::printf("format version      %u\n", info.version);
+    std::printf("lanes               %u\n", info.numLanes);
+    std::printf("declared ops/lane   %llu\n",
+                static_cast<unsigned long long>(info.opsDeclared));
+    std::printf("file size           %llu bytes\n",
+                static_cast<unsigned long long>(info.fileBytes));
+    if (info.version == kTraceVersion2) {
+        std::printf("trace id            %016llx\n",
+                    static_cast<unsigned long long>(info.traceId));
+        std::printf("lane directory:\n");
+        std::printf("  %-5s %12s %12s %10s  %s\n", "lane", "bytes",
+                    "mem ops", "sync ops", "payload hash");
+        for (std::uint32_t i = 0; i < info.numLanes; ++i) {
+            const auto &l = info.lanes[i];
+            std::printf("  %-5u %12llu %12llu %10llu  %016llx\n", i,
+                        static_cast<unsigned long long>(l.payloadBytes),
+                        static_cast<unsigned long long>(l.memOps),
+                        static_cast<unsigned long long>(l.syncOps),
+                        static_cast<unsigned long long>(l.payloadHash));
         }
     }
-    std::printf("address range       [0x%llx, 0x%llx]\n",
-                static_cast<unsigned long long>(min_addr),
-                static_cast<unsigned long long>(max_addr));
-    std::printf("mean gap            %.2f instructions\n",
-                reader.totalRecords()
-                    ? static_cast<double>(gaps) /
-                          static_cast<double>(reader.totalRecords())
-                    : 0.0);
-    std::printf("composition:\n");
-    for (const auto &[kind, count] : kinds) {
-        std::printf("  %-8s %10llu (%.1f%%)\n",
-                    std::string(cpuOpKindName(kind)).c_str(),
-                    static_cast<unsigned long long>(count),
-                    100.0 * static_cast<double>(count) /
-                        static_cast<double>(reader.totalRecords()));
+
+    const TraceScan scan = scanTrace(path);
+    std::printf("memory records      %llu\n",
+                static_cast<unsigned long long>(scan.memOps));
+    if (scan.syncOps) {
+        std::printf("sync records        %llu (%llu barrier, %llu "
+                    "acquire, %llu release, %llu signal, %llu wait)\n",
+                    static_cast<unsigned long long>(scan.syncOps),
+                    static_cast<unsigned long long>(scan.syncCount[0]),
+                    static_cast<unsigned long long>(scan.syncCount[1]),
+                    static_cast<unsigned long long>(scan.syncCount[2]),
+                    static_cast<unsigned long long>(scan.syncCount[3]),
+                    static_cast<unsigned long long>(scan.syncCount[4]));
     }
+    if (scan.memOps) {
+        std::printf("address range       [0x%llx, 0x%llx]\n",
+                    static_cast<unsigned long long>(scan.minAddr),
+                    static_cast<unsigned long long>(scan.maxAddr));
+        std::printf("mean gap            %.2f instructions\n",
+                    static_cast<double>(scan.gapSum) /
+                        static_cast<double>(scan.memOps));
+        std::printf("composition:\n");
+        for (unsigned k = 0; k < 6; ++k) {
+            if (!scan.kindCount[k])
+                continue;
+            std::printf(
+                "  %-8s %10llu (%.1f%%)\n",
+                std::string(cpuOpKindName(static_cast<CpuOpKind>(k)))
+                    .c_str(),
+                static_cast<unsigned long long>(scan.kindCount[k]),
+                100.0 * static_cast<double>(scan.kindCount[k]) /
+                    static_cast<double>(scan.memOps));
+        }
+    }
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path)
+{
+    const std::string err = verifyTrace(path);
+    if (!err.empty()) {
+        std::fprintf(stderr, "cgct_trace: verify failed: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    std::printf("%s: OK (header, lane directory, payload hashes, and "
+                "every record check out)\n",
+                path.c_str());
     return 0;
 }
 
@@ -93,14 +173,19 @@ main(int argc, char **argv)
     std::uint64_t ops = 100000;
     std::uint64_t seed = 20050609;
 
-    ArgParser parser("cgct_trace",
-                     "Record benchmark op streams to a trace file, or "
-                     "inspect an existing trace.\n"
-                     "commands: record <benchmark> <file>, info <file>");
-    parser.addPositional("command", &command, "record | info", true);
-    parser.addPositional("arg1", &arg1, "benchmark (record) or file "
-                                        "(info)");
-    parser.addPositional("arg2", &arg2, "output file (record)");
+    ArgParser parser(
+        "cgct_trace",
+        "Record benchmark op streams to a v2 trace file, convert a "
+        "SynchroTrace-style text log, upgrade a legacy v1 trace, or "
+        "inspect/verify an existing trace (docs/TRACE_FORMAT.md).\n"
+        "commands: record <benchmark> <file>, convert <text> <file>, "
+        "upgrade <v1-file> <v2-file>, info <file>, verify <file>");
+    parser.addPositional("command", &command,
+                         "record | convert | upgrade | info | verify",
+                         true);
+    parser.addPositional("arg1", &arg1,
+                         "benchmark (record) or input file");
+    parser.addPositional("arg2", &arg2, "output file");
     parser.addU64("cpus", &cpus, "processors to record");
     parser.addU64("ops", &ops, "ops per processor");
     parser.addU64("seed", &seed, "generator seed");
@@ -124,12 +209,35 @@ main(int argc, char **argv)
         }
         return cmdRecord(arg1, arg2, cpus, ops, seed);
     }
+    if (command == "convert") {
+        if (arg1.empty() || arg2.empty()) {
+            std::fprintf(stderr,
+                         "cgct_trace: convert needs <text> <file>\n");
+            return 1;
+        }
+        return cmdConvert(arg1, arg2);
+    }
+    if (command == "upgrade") {
+        if (arg1.empty() || arg2.empty()) {
+            std::fprintf(stderr, "cgct_trace: upgrade needs <v1-file> "
+                                 "<v2-file>\n");
+            return 1;
+        }
+        return cmdUpgrade(arg1, arg2);
+    }
     if (command == "info") {
         if (arg1.empty()) {
             std::fprintf(stderr, "cgct_trace: info needs <file>\n");
             return 1;
         }
         return cmdInfo(arg1);
+    }
+    if (command == "verify") {
+        if (arg1.empty()) {
+            std::fprintf(stderr, "cgct_trace: verify needs <file>\n");
+            return 1;
+        }
+        return cmdVerify(arg1);
     }
     std::fprintf(stderr, "cgct_trace: unknown command '%s'\n",
                  command.c_str());

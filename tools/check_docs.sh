@@ -16,6 +16,11 @@
 #      checkpoint flags, and the crash/resume semantics, and be
 #      cross-linked from README.md, docs/SWEEP.md, and
 #      docs/ARCHITECTURE.md.
+#   7. docs/TRACE_FORMAT.md must document every v2 record type in the
+#      CGCT_TRACE_V2_RECORD_TYPES X-macro (src/workload/trace_format.hpp),
+#      every cgct_trace CLI flag and subcommand, and the format
+#      invariants, and be cross-linked from README.md, docs/SWEEP.md,
+#      and docs/ARCHITECTURE.md.
 #
 # Run from anywhere:
 #
@@ -163,10 +168,67 @@ else
     done
 fi
 
+# Trace on-disk format documentation: docs/TRACE_FORMAT.md is the
+# byte-level contract for the record/replay files. Every record type in
+# the CGCT_TRACE_V2_RECORD_TYPES X-macro and every cgct_trace CLI flag
+# must appear there, so the spec cannot drift from the codec.
+fmt_doc="$root/docs/TRACE_FORMAT.md"
+fmt_hdr="$root/src/workload/trace_format.hpp"
+if [ ! -f "$fmt_doc" ]; then
+    echo "check_docs: $fmt_doc is missing" >&2
+    fail=1
+else
+    rec_types=$(grep -oE '^[[:space:]]*X\([a-z_]+, 0x[0-9A-Fa-f]+\)' \
+        "$fmt_hdr" | sed -E 's/.*X\(([a-z_]+),.*/\1/' | sort -u)
+    if [ -z "$rec_types" ]; then
+        echo "check_docs: found no v2 record types in" \
+             "src/workload/trace_format.hpp (X-macro moved?)" >&2
+        fail=1
+    fi
+    for rec in $rec_types; do
+        if ! grep -q -- "\`$rec\`" "$fmt_doc"; then
+            echo "check_docs: v2 record type $rec is not documented" \
+                 "in docs/TRACE_FORMAT.md" >&2
+            fail=1
+        fi
+    done
+
+    trace_flags=$(grep -oE \
+        'add(Flag|U64|Double|String)\("[A-Za-z0-9-]+"' \
+        "$root/tools/cgct_trace.cpp" |
+        sed -E 's/.*\("([A-Za-z0-9-]+)"/\1/' | sort -u)
+    for flag in $trace_flags; do
+        if ! grep -q -- "--$flag" "$fmt_doc"; then
+            echo "check_docs: cgct_trace flag --$flag is not documented" \
+                 "in docs/TRACE_FORMAT.md" >&2
+            fail=1
+        fi
+    done
+
+    for token in record convert upgrade info verify xxhash64 trace_id \
+                 payload_hash directory_offset little-endian \
+                 text-format ops_declared num_lanes TraceWriter \
+                 BENCH_trace.json; do
+        if ! grep -q -- "$token" "$fmt_doc"; then
+            echo "check_docs: docs/TRACE_FORMAT.md does not mention" \
+                 "$token" >&2
+            fail=1
+        fi
+    done
+    for ref in README.md docs/SWEEP.md docs/ARCHITECTURE.md; do
+        if ! grep -q "TRACE_FORMAT.md" "$root/$ref"; then
+            echo "check_docs: $ref does not link to" \
+                 "docs/TRACE_FORMAT.md" >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md /" \
-         "docs/TRACING.md / docs/ARCHITECTURE.md / docs/SNAPSHOT.md" >&2
+         "docs/TRACING.md / docs/ARCHITECTURE.md / docs/SNAPSHOT.md /" \
+         "docs/TRACE_FORMAT.md" >&2
     exit 1
 fi
-echo "check_docs: flags, perf targets, trace event types, stat names," \
-     "and architecture cross-links are all documented"
+echo "check_docs: flags, perf targets, trace event and record types," \
+     "stat names, and architecture cross-links are all documented"

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# trace_replay_test.sh — end-to-end capture→replay byte-identity
+# (docs/TRACE_FORMAT.md). For each benchmark profile: run the simulator
+# with --capture, replay the resulting v2 trace, and require the two
+# JSON result blobs to hash identically after normalizing the fields
+# that legitimately differ (the workload label and, for replays, the
+# seed the trace file does not carry). Also covers the cgct_trace
+# convert/verify/info pipeline and checkpoint-mid-replay restore.
+#
+#   tools/trace_replay_test.sh <cgct_sim-binary> <cgct_trace-binary>
+#
+# Wired into ctest as `trace_replay_e2e` (see tests/CMakeLists.txt).
+
+set -u
+
+sim="${1:?usage: trace_replay_test.sh <cgct_sim> <cgct_trace>}"
+trace="${2:?usage: trace_replay_test.sh <cgct_sim> <cgct_trace>}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+sha() { sha256sum "$1" | cut -d' ' -f1; }
+
+# The workload label ("tpc-w" vs "trace:/path/to/file") and the seed
+# are the only fields allowed to differ between a live run and its
+# replay; everything else must be byte-identical.
+normalize() {
+    sed -e 's/"workload": "[^"]*"/"workload": "X"/' \
+        -e 's/"seed": [0-9]*/"seed": 0/' "$1"
+}
+
+for bench in ocean raytrace barnes specint2000rate specweb99 \
+             specjbb2000 tpc-w tpc-b tpc-h; do
+    cap="$tmp/$bench.trace"
+    "$sim" "$bench" --ops 10000 --seed 7 --capture "$cap" \
+        --json > "$tmp/$bench.live.json" 2> /dev/null
+    if [ $? -ne 0 ] || [ ! -s "$cap" ]; then
+        echo "trace_replay_test: capture run failed for $bench" >&2
+        exit 1
+    fi
+
+    # The published capture must pass deep verification (hashes,
+    # record walk) before it is trusted for replay.
+    if ! "$trace" verify "$cap" > /dev/null; then
+        echo "trace_replay_test: cgct_trace verify rejected $cap" >&2
+        exit 1
+    fi
+
+    "$sim" --replay "$cap" --ops 10000 --seed 7 \
+        --json > "$tmp/$bench.replay.json" 2> /dev/null
+    if [ $? -ne 0 ]; then
+        echo "trace_replay_test: replay run failed for $bench" >&2
+        exit 1
+    fi
+
+    normalize "$tmp/$bench.live.json" > "$tmp/$bench.live.norm"
+    normalize "$tmp/$bench.replay.json" > "$tmp/$bench.replay.norm"
+    if [ "$(sha "$tmp/$bench.live.norm")" != \
+         "$(sha "$tmp/$bench.replay.norm")" ]; then
+        echo "trace_replay_test: $bench replay diverged from the live" \
+             "run (diff follows)" >&2
+        diff "$tmp/$bench.live.norm" "$tmp/$bench.replay.norm" >&2
+        exit 1
+    fi
+done
+
+# Replays are configuration-portable: the same trace replayed under a
+# different region size must run to completion (different stats, same
+# op stream).
+"$sim" --replay "$tmp/tpc-w.trace" --region 1024 --ops 10000 \
+    --json > /dev/null 2>&1 || {
+    echo "trace_replay_test: replay under a different config failed" >&2
+    exit 1
+}
+
+# Offline record → info: the directory totals must match what was asked
+# for.
+rec="$tmp/recorded.trace"
+"$trace" record ocean "$rec" --cpus 4 --ops 5000 --seed 3 > /dev/null || {
+    echo "trace_replay_test: cgct_trace record failed" >&2
+    exit 1
+}
+info="$("$trace" info "$rec")"
+echo "$info" | grep -q 'format version      2' || {
+    echo "trace_replay_test: recorded trace is not v2" >&2
+    exit 1
+}
+echo "$info" | grep -q 'memory records      20000' || {
+    echo "trace_replay_test: cgct_trace info reports wrong op count" >&2
+    echo "$info" >&2
+    exit 1
+}
+
+# Text conversion round trip: a SynchroTrace-style log with a barrier
+# converts, verifies, and replays to completion.
+cat > "$tmp/events.txt" <<'EOF'
+# comp: eid,tid,iops,flops,reads,writes [$ start end]... [* start end]...
+1,1,20,0,1,1 $ 4096 4159 * 8192 8255
+1,2,15,0,1,0 $ 4096 4159
+2,1,pth_ty:5^1
+2,2,pth_ty:5^1
+4,1,pth_ty:3^9,pth_ty:4^9
+3,1,5,0,0,1 * 12288 12351
+3,2 # 1 1 8192 8255
+EOF
+conv="$tmp/converted.trace"
+"$trace" convert "$tmp/events.txt" "$conv" > /dev/null || {
+    echo "trace_replay_test: cgct_trace convert failed" >&2
+    exit 1
+}
+"$trace" verify "$conv" > /dev/null || {
+    echo "trace_replay_test: converted trace failed verification" >&2
+    exit 1
+}
+"$sim" --replay "$conv" --cpus 2 --warmup 1 --json > /dev/null 2>&1 || {
+    echo "trace_replay_test: converted trace failed to replay" >&2
+    exit 1
+}
+
+# Checkpoint mid-replay: a restored replay must finish byte-identical
+# to the uninterrupted checkpointed run (same drain schedule).
+ck="$tmp/ck"
+"$sim" --replay "$tmp/barnes.trace" --checkpoint-every 4000 \
+    --checkpoint "$ck" --json > "$tmp/ck.full.json" 2> /dev/null || {
+    echo "trace_replay_test: checkpointed replay failed" >&2
+    exit 1
+}
+snap="$(ls "$ck".* 2>/dev/null | head -1)"
+if [ -z "$snap" ]; then
+    echo "trace_replay_test: checkpointed replay wrote no snapshot" >&2
+    exit 1
+fi
+"$sim" --replay "$tmp/barnes.trace" --checkpoint-every 4000 \
+    --restore "$snap" --json > "$tmp/ck.resumed.json" 2> /dev/null || {
+    echo "trace_replay_test: restore-from-snapshot replay failed" >&2
+    exit 1
+}
+if ! cmp -s "$tmp/ck.full.json" "$tmp/ck.resumed.json"; then
+    echo "trace_replay_test: restored replay diverged from the" \
+         "uninterrupted checkpointed run" >&2
+    diff "$tmp/ck.full.json" "$tmp/ck.resumed.json" >&2
+    exit 1
+fi
+
+# Captures are deterministic across worker-thread counts: --jobs only
+# parallelizes multi-seed batches, so a --seeds 1 capture must emit the
+# same trace bytes at any job count.
+"$sim" tpc-w --ops 10000 --seed 7 --jobs 1 \
+    --capture "$tmp/jobs1.trace" --json > /dev/null 2>&1
+"$sim" tpc-w --ops 10000 --seed 7 --jobs 2 \
+    --capture "$tmp/jobs2.trace" --json > /dev/null 2>&1
+if ! cmp -s "$tmp/jobs1.trace" "$tmp/jobs2.trace"; then
+    echo "trace_replay_test: capture bytes depend on --jobs" >&2
+    exit 1
+fi
+
+# A corrupted trace must be rejected, not replayed.
+bad="$tmp/corrupt.trace"
+cp "$tmp/tpc-w.trace" "$bad"
+printf '\xff' | dd of="$bad" bs=1 seek=100 conv=notrunc 2> /dev/null
+if "$trace" verify "$bad" > /dev/null 2>&1; then
+    echo "trace_replay_test: verify accepted a corrupted trace" >&2
+    exit 1
+fi
+
+echo "trace_replay_test: capture→replay byte-identity holds for all 9" \
+     "profiles; convert/verify/checkpoint paths OK"

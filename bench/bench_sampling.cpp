@@ -1,0 +1,175 @@
+/**
+ * @file
+ * bench_sampling — wall-clock benchmark for the statistical-sampling
+ * engine (docs/SAMPLING.md). Measures the comparison the methodology
+ * actually replaces: a default sweep cell (seedsPerCell full-detail
+ * runs, CI from seed repetition) against one sampled run (functional
+ * warming + K detailed windows, CI from the windows), on the same
+ * tpc-w / 512 B configuration.
+ *
+ * Emits one machine-readable JSON object on stdout (schema validated
+ * and speedup-gated against BENCH_sampling.json by
+ * tools/bench_smoke.sh):
+ *
+ *   bench_sampling [--ops N] [--windows K] [--window-ops W] [--seeds S]
+ *
+ * Phases measured:
+ *   full     S full-detail runs on the sweep seed chain — the cost of
+ *            one cell of `cgct_sweep --seeds S`.
+ *   sampled  one simulateSampled() run (functional warming, windows
+ *            serial) — the cost of the same cell under
+ *            `cgct_sweep --sample K`.
+ *
+ * Alongside the speedup it reports the sampled run's relative CI width
+ * and the estimate-vs-full error on the headline ratios, so the
+ * recorded baseline documents the accuracy bought for the time.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/sampling.hpp"
+#include "sim/sweep.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace {
+
+using namespace cgct;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 1200000;
+    std::uint64_t windows = 8;
+    std::uint64_t window_ops = 2000;
+    std::uint64_t seeds = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--windows") == 0 &&
+                   i + 1 < argc) {
+            windows = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--window-ops") == 0 &&
+                   i + 1 < argc) {
+            window_ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+            seeds = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_sampling [--ops N] [--windows K] "
+                         "[--window-ops W] [--seeds S]\n");
+            return 2;
+        }
+    }
+    if (ops < 20000)
+        ops = 20000;
+    if (windows < 2)
+        windows = 2;
+    if (seeds < 1)
+        seeds = 1;
+    const std::uint64_t warmup = ops / 5;
+    const std::uint64_t span = ops - warmup;
+    if (window_ops > span / windows)
+        window_ops = span / windows;
+
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    const WorkloadProfile &profile = benchmarkByName("tpc-w");
+
+    RunOptions opts;
+    opts.opsPerCpu = ops;
+    opts.warmupOps = warmup;
+
+    // Phase 1: one default sweep cell — `seeds` full-detail runs on the
+    // sweep seed chain, averaged like cgct_sweep rows are.
+    double full_seconds = 0;
+    double full_avoided = 0, full_miss_ratio = 0, full_latency = 0;
+    {
+        std::uint64_t seed = 20050609;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t s = 0; s < seeds; ++s) {
+            seed = nextSweepSeed(seed);
+            opts.seed = seed;
+            const RunResult r = simulateOnce(config, profile, opts);
+            full_avoided += r.avoidedFraction();
+            full_miss_ratio += r.l2MissRatio;
+            full_latency += r.avgMissLatency;
+        }
+        full_seconds = secondsSince(t0);
+        full_avoided /= static_cast<double>(seeds);
+        full_miss_ratio /= static_cast<double>(seeds);
+        full_latency /= static_cast<double>(seeds);
+    }
+
+    // Phase 2: the sampled replacement — one run, CI from the windows.
+    // Windows run serially, exactly as inside a sweep cell.
+    double sampled_seconds = 0;
+    RunResult sampled;
+    {
+        opts.seed = nextSweepSeed(20050609);
+        SamplingOptions sopts;
+        sopts.windows = windows;
+        sopts.windowOps = window_ops;
+        sopts.warmMode = WarmMode::Functional;
+        sopts.jobs = 1;
+        const auto t0 = std::chrono::steady_clock::now();
+        sampled = simulateSampled(config, profile, opts, sopts);
+        sampled_seconds = secondsSince(t0);
+    }
+    if (!sampled.sampling) {
+        std::fprintf(stderr,
+                     "bench_sampling: sampled run carried no "
+                     "SamplingInfo\n");
+        return 1;
+    }
+    const SamplingInfo &si = *sampled.sampling;
+
+    const double speedup = full_seconds / sampled_seconds;
+    const double ci_rel =
+        si.cycles.mean > 0 ? si.cycles.ci95Half / si.cycles.mean : 0.0;
+
+    std::printf(
+        "{\n"
+        "  \"schema\": \"cgct-bench-sampling-v1\",\n"
+        "  \"ops\": %llu,\n"
+        "  \"seeds\": %llu,\n"
+        "  \"windows\": %llu,\n"
+        "  \"window_ops\": %llu,\n"
+        "  \"detail_fraction\": %.4f,\n"
+        "  \"full_seconds\": %.3f,\n"
+        "  \"sampled_seconds\": %.3f,\n"
+        "  \"speedup_vs_full_cell\": %.2f,\n"
+        "  \"window_cycles_ci95_rel\": %.4f,\n"
+        "  \"avoided_fraction_full\": %.6f,\n"
+        "  \"avoided_fraction_sampled\": %.6f,\n"
+        "  \"avoided_fraction_ci95\": %.6f,\n"
+        "  \"l2_miss_ratio_full\": %.6f,\n"
+        "  \"l2_miss_ratio_sampled\": %.6f,\n"
+        "  \"l2_miss_ratio_ci95\": %.6f,\n"
+        "  \"avg_miss_latency_full\": %.2f,\n"
+        "  \"avg_miss_latency_sampled\": %.2f,\n"
+        "  \"avg_miss_latency_ci95\": %.2f\n"
+        "}\n",
+        static_cast<unsigned long long>(ops),
+        static_cast<unsigned long long>(seeds),
+        static_cast<unsigned long long>(windows),
+        static_cast<unsigned long long>(window_ops), 1.0 / si.scale,
+        full_seconds, sampled_seconds, speedup, ci_rel, full_avoided,
+        sampled.avoidedFraction(), si.avoidedFraction.ci95Half,
+        full_miss_ratio, sampled.l2MissRatio, si.l2MissRatio.ci95Half,
+        full_latency, sampled.avgMissLatency,
+        si.avgMissLatency.ci95Half);
+    return 0;
+}

@@ -280,6 +280,24 @@ CoreModel::deserialize(SectionReader &r)
 }
 
 void
+CoreModel::warmAdvance(Tick clock, std::uint64_t instructions,
+                       std::uint64_t mem_ops)
+{
+    if ((state_ != State::Running && state_ != State::Finished) ||
+        !loads_.empty() || depWait_ || outstandingStores_ != 0 ||
+        runScheduled_)
+        panic("CoreModel: warmAdvance on cpu %d with timing state in "
+              "flight — functional warming requires an idle core", cpu_);
+    if (clock < clock_)
+        panic("CoreModel: warmAdvance moves cpu %d clock backwards",
+              cpu_);
+    clock_ = clock;
+    instructions_ += instructions;
+    memOps_ += mem_ops;
+    state_ = State::Finished;
+}
+
+void
 CoreModel::resume()
 {
     if (state_ != State::Finished)

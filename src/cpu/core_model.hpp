@@ -128,6 +128,16 @@ class CoreModel
      */
     void resume();
 
+    /**
+     * Functional-warming bookkeeping (docs/SAMPLING.md): credit this
+     * core with ops it executed outside the timing model and move its
+     * local clock to the shared warm tick, leaving it Finished so the
+     * warm system is quiescent and serializable. The core must be idle
+     * (fresh, or drained by an earlier warm phase); panics otherwise.
+     */
+    void warmAdvance(Tick clock, std::uint64_t instructions,
+                     std::uint64_t mem_ops);
+
     /** True while the op source has this core blocked on a trace
      *  synchronization event (barrier / contended lock / wait). */
     bool waitingOnSync() const { return state_ == State::WaitSync; }

@@ -135,6 +135,36 @@ toJson(const RunResult &r, const std::string &indent)
     w.field("avg_miss_latency", r.avgMissLatency);
     w.close();
 
+    if (r.sampling) {
+        const SamplingInfo &s = *r.sampling;
+        w.open("sampling");
+        w.field("windows", s.windows);
+        w.field("window_ops", s.windowOps);
+        w.field("warm_mode", s.warmMode);
+        w.field("span_ops", s.spanOps);
+        w.field("sampled_ops", s.sampledOps);
+        w.field("scale", s.scale);
+        const struct {
+            const char *name;
+            const RunSummary *sum;
+        } sums[] = {
+            {"window_cycles", &s.cycles},
+            {"avg_miss_latency", &s.avgMissLatency},
+            {"l2_miss_ratio", &s.l2MissRatio},
+            {"avoided_fraction", &s.avoidedFraction},
+            {"avg_broadcasts_per_100k", &s.avgBroadcastsPer100k},
+        };
+        for (const auto &entry : sums) {
+            w.open(entry.name);
+            w.field("mean", entry.sum->mean);
+            w.field("stddev", entry.sum->stddev);
+            w.field("ci95_half", entry.sum->ci95Half);
+            w.field("count", entry.sum->count);
+            w.close();
+        }
+        w.close();
+    }
+
     w.open("rca");
     w.field("evicted_empty", r.rcaEvictedEmpty);
     w.field("evicted_one", r.rcaEvictedOne);

@@ -800,6 +800,442 @@ Node::snoopRegion(const SystemRequest &req, bool requester_gets_exclusive)
                                    eq_.now());
 }
 
+// ---------------------------------------------------------------------------
+// Functional warming (docs/SAMPLING.md). Each warm* function is the
+// architectural mirror of its timing twin above: identical cache, MOESI
+// and region-tracker transitions, applied synchronously at the warm tick
+// with no events, no bus arbitration, no MSHR occupancy and no latency.
+// Keep the two in lockstep when changing either.
+
+void
+Node::warmAccess(CpuOpKind kind, Addr addr, Tick now)
+{
+    if (!warmPeers_)
+        panic("cpu%d: warmAccess without setWarmPeers", cpu_);
+
+    switch (kind) {
+      case CpuOpKind::Ifetch:
+        if (l1i_.probe(addr, now))
+            return;
+        warmL2Access(kind, addr, now);
+        return;
+
+      case CpuOpKind::Load:
+        if (l1d_.probe(addr, now))
+            return;
+        warmL2Access(kind, addr, now);
+        return;
+
+      case CpuOpKind::Store:
+        if (CacheLine *line = l1d_.probe(addr, now)) {
+            if (line->state == LineState::Modified)
+                return;
+            CacheLine *l2line = l2_.peekMutable(addr);
+            if (l2line && isWritable(l2line->state)) {
+                l2line->state = LineState::Modified;
+                line->state = LineState::Modified;
+                return;
+            }
+        }
+        warmL2Access(kind, addr, now);
+        return;
+
+      case CpuOpKind::Dcbz:
+      case CpuOpKind::Dcbf:
+      case CpuOpKind::Dcbi:
+        warmL2Access(kind, addr, now);
+        return;
+    }
+    panic("Node::warmAccess: unknown op kind");
+}
+
+void
+Node::warmL2Access(CpuOpKind kind, Addr addr, Tick now)
+{
+    const Addr line_addr = l2_.lineAlign(addr);
+    CacheLine *line = l2_.probe(addr, now);
+    const bool was_miss = line == nullptr;
+    const bool is_store_like = kind == CpuOpKind::Store;
+
+    if (kind == CpuOpKind::Ifetch || kind == CpuOpKind::Load ||
+        kind == CpuOpKind::Store) {
+        warmMaybePrefetch(line_addr, is_store_like, was_miss, now);
+        // The prefetcher may have filled (or displaced) the line.
+        line = l2_.probe(addr, now);
+    }
+
+    switch (kind) {
+      case CpuOpKind::Ifetch:
+      case CpuOpKind::Load:
+        if (line) {
+            fillL1(kind, addr, now, now);
+            return;
+        }
+        ++stats_.demandMisses;
+        warmRequest(kind == CpuOpKind::Ifetch ? RequestType::Ifetch
+                                              : RequestType::Read,
+                    line_addr, now, /*is_prefetch=*/false);
+        fillL1(kind, addr, now, now);
+        return;
+
+      case CpuOpKind::Store:
+        if (line) {
+            if (isWritable(line->state)) {
+                line->state = LineState::Modified;
+                fillL1(kind, addr, now, now);
+                return;
+            }
+            warmRequest(RequestType::Upgrade, line_addr, now,
+                        /*is_prefetch=*/false);
+            fillL1(kind, addr, now, now);
+            return;
+        }
+        ++stats_.demandMisses;
+        warmRequest(RequestType::ReadExclusive, line_addr, now,
+                    /*is_prefetch=*/false);
+        fillL1(kind, addr, now, now);
+        return;
+
+      case CpuOpKind::Dcbz:
+        if (line && isWritable(line->state)) {
+            line->state = LineState::Modified;
+            if (CacheLine *l1line = l1d_.peekMutable(addr))
+                l1line->state = LineState::Modified;
+            return;
+        }
+        warmRequest(RequestType::Dcbz, line_addr, now,
+                    /*is_prefetch=*/false);
+        return;
+
+      case CpuOpKind::Dcbf:
+        warmRequest(RequestType::Dcbf, line_addr, now,
+                    /*is_prefetch=*/false);
+        return;
+
+      case CpuOpKind::Dcbi:
+        warmRequest(RequestType::Dcbi, line_addr, now,
+                    /*is_prefetch=*/false);
+        return;
+    }
+    panic("Node::warmL2Access: unknown op kind");
+}
+
+void
+Node::warmRequest(RequestType type, Addr line_addr, Tick now,
+                  bool is_prefetch)
+{
+    ++stats_.requestsTotal;
+    const auto cat = static_cast<std::size_t>(categoryOf(type));
+
+    RouteDecision route;
+    if (tracker_)
+        route = tracker_->route(type, line_addr, now);
+
+    switch (route.kind) {
+      case RouteKind::Broadcast:
+        ++stats_.broadcasts;
+        ++stats_.broadcastsByCat[cat];
+        warmBroadcast(type, line_addr, now, is_prefetch);
+        break;
+
+      case RouteKind::Direct: {
+        ++stats_.directs;
+        ++stats_.directsByCat[cat];
+        MemCtrlId mc = route.memCtrl;
+        if (mc == kInvalidMemCtrl)
+            mc = map_.controllerOf(line_addr);
+        warmDirect(type, line_addr, mc, now);
+        break;
+      }
+
+      case RouteKind::LocalComplete:
+        ++stats_.localCompletes;
+        ++stats_.localByCat[cat];
+        warmLocalComplete(type, line_addr, now);
+        break;
+    }
+}
+
+void
+Node::warmBroadcast(RequestType type, Addr line_addr, Tick now,
+                    bool is_prefetch)
+{
+    SystemRequest req;
+    req.cpu = cpu_;
+    req.type = type;
+    req.lineAddr = line_addr;
+    req.isPrefetch = is_prefetch;
+
+    // Mirror of Bus::resolve, minus the oracle (measurement-only, reset
+    // at every window start), timing and data movement.
+    SnoopResponse resp;
+    for (Node *peer : *warmPeers_) {
+        if (peer->cpuId() == cpu_)
+            continue;
+        resp.line.fold(peer->cpuId(), peer->warmSnoopLine(req));
+    }
+
+    const bool gets_exclusive =
+        wantsExclusive(type) || isDcbOp(type) ||
+        ((type == RequestType::Read || type == RequestType::Prefetch) &&
+         !resp.line.anyCopy);
+
+    if (type != RequestType::Writeback) {
+        for (Node *peer : *warmPeers_) {
+            if (peer->cpuId() == cpu_)
+                continue;
+            resp.region.merge(
+                peer->warmSnoopRegion(req, gets_exclusive, now));
+        }
+    }
+    resp.memCtrl = map_.controllerOf(line_addr);
+
+    // Mirror of handleBroadcastResponse: requester-side state changes.
+    const LineState granted = grantedState(type, resp.line.anyCopy);
+    const bool granted_exclusive = granted == LineState::Exclusive ||
+                                   granted == LineState::Modified;
+    if (tracker_)
+        tracker_->onBroadcastResponse(type, line_addr, granted_exclusive,
+                                      resp, now);
+
+    switch (type) {
+      case RequestType::Read:
+      case RequestType::ReadExclusive:
+      case RequestType::Ifetch:
+      case RequestType::Prefetch:
+      case RequestType::PrefetchExclusive:
+        warmInstallL2Line(line_addr, granted, now);
+        break;
+
+      case RequestType::Upgrade: {
+        CacheLine *line = l2_.peekMutable(line_addr);
+        if (line) {
+            line->state = LineState::Modified;
+            if (CacheLine *l1line = l1d_.peekMutable(line_addr))
+                l1line->state = LineState::Modified;
+        } else {
+            ++stats_.upgradeRaces;
+            warmInstallL2Line(line_addr, LineState::Modified, now);
+        }
+        break;
+      }
+
+      case RequestType::Dcbz: {
+        CacheLine *line = l2_.peekMutable(line_addr);
+        if (line) {
+            line->state = LineState::Modified;
+            if (CacheLine *l1line = l1d_.peekMutable(line_addr))
+                l1line->state = LineState::Modified;
+        } else {
+            warmInstallL2Line(line_addr, LineState::Modified, now);
+        }
+        break;
+      }
+
+      case RequestType::Dcbf:
+      case RequestType::Dcbi: {
+        CacheLine *line = l2_.peekMutable(line_addr);
+        if (line) {
+            const bool dirty = isDirty(line->state) &&
+                               type == RequestType::Dcbf;
+            l1d_.invalidateLine(line_addr);
+            l1i_.invalidateLine(line_addr);
+            l2_.invalidateLine(line_addr);
+            if (tracker_)
+                tracker_->onLineEvict(line_addr);
+            if (dirty)
+                warmWriteback(line_addr, now);
+        }
+        break;
+      }
+
+      case RequestType::Writeback:
+        break;
+    }
+
+    if (checker_)
+        checker_->onTransition(line_addr, "warm_broadcast");
+}
+
+void
+Node::warmDirect(RequestType type, Addr line_addr, MemCtrlId mc, Tick now)
+{
+    (void)mc; // Data movement and controller timing are skipped.
+    if (type == RequestType::Writeback)
+        return;
+
+    const RegionState region_state =
+        tracker_ ? tracker_->peekState(line_addr) : RegionState::Invalid;
+    const bool region_exclusive = isRegionExclusive(region_state);
+    const LineState granted =
+        grantedState(type, /*other_had_copy=*/!region_exclusive);
+
+    tracker_->onDirectIssue(type, line_addr,
+                            granted == LineState::Exclusive ||
+                                granted == LineState::Modified,
+                            now);
+    warmInstallL2Line(line_addr, granted, now);
+    if (checker_)
+        checker_->onTransition(line_addr, "warm_direct");
+}
+
+void
+Node::warmLocalComplete(RequestType type, Addr line_addr, Tick now)
+{
+    tracker_->onLocalComplete(type, line_addr, now);
+
+    switch (type) {
+      case RequestType::Upgrade: {
+        CacheLine *line = l2_.peekMutable(line_addr);
+        if (line) {
+            line->state = LineState::Modified;
+            if (CacheLine *l1line = l1d_.peekMutable(line_addr))
+                l1line->state = LineState::Modified;
+        } else {
+            ++stats_.upgradeRaces;
+            warmInstallL2Line(line_addr, LineState::Modified, now);
+        }
+        break;
+      }
+
+      case RequestType::Dcbz: {
+        CacheLine *line = l2_.peekMutable(line_addr);
+        if (line) {
+            line->state = LineState::Modified;
+            if (CacheLine *l1line = l1d_.peekMutable(line_addr))
+                l1line->state = LineState::Modified;
+        } else {
+            warmInstallL2Line(line_addr, LineState::Modified, now);
+        }
+        break;
+      }
+
+      case RequestType::Dcbf: {
+        CacheLine *line = l2_.peekMutable(line_addr);
+        if (line) {
+            const bool dirty = isDirty(line->state);
+            l1d_.invalidateLine(line_addr);
+            l1i_.invalidateLine(line_addr);
+            l2_.invalidateLine(line_addr);
+            if (tracker_)
+                tracker_->onLineEvict(line_addr);
+            if (dirty)
+                warmWriteback(line_addr, now);
+        }
+        break;
+      }
+
+      case RequestType::Dcbi: {
+        if (l2_.peek(line_addr)) {
+            l1d_.invalidateLine(line_addr);
+            l1i_.invalidateLine(line_addr);
+            l2_.invalidateLine(line_addr);
+            if (tracker_)
+                tracker_->onLineEvict(line_addr);
+        }
+        break;
+      }
+
+      default:
+        panic("cpu%d: request type %d cannot complete locally", cpu_,
+              static_cast<int>(type));
+    }
+
+    if (checker_)
+        checker_->onTransition(line_addr, "warm_local_complete");
+}
+
+void
+Node::warmInstallL2Line(Addr line_addr, LineState state, Tick now)
+{
+    Eviction evicted;
+    l2_.fill(line_addr, state, now, now, evicted);
+    if (evicted.valid)
+        warmEvictL2Line(evicted.lineAddr, evicted.state, now);
+    if (tracker_)
+        tracker_->onLineFill(line_addr);
+}
+
+void
+Node::warmEvictL2Line(Addr line_addr, LineState state, Tick now)
+{
+    l1d_.invalidateLine(line_addr);
+    l1i_.invalidateLine(line_addr);
+    if (tracker_)
+        tracker_->onLineEvict(line_addr);
+    if (isDirty(state))
+        warmWriteback(line_addr, now);
+}
+
+void
+Node::warmWriteback(Addr line_addr, Tick now)
+{
+    ++stats_.writebacksIssued;
+    warmRequest(RequestType::Writeback, line_addr, now,
+                /*is_prefetch=*/false);
+}
+
+void
+Node::warmMaybePrefetch(Addr line_addr, bool is_store, bool was_miss,
+                        Tick now)
+{
+    prefetchScratch_.clear();
+    prefetcher_.observe(line_addr, is_store, was_miss, prefetchScratch_);
+    for (const PrefetchCandidate &c : prefetchScratch_) {
+        if (l2_.peek(c.lineAddr))
+            continue;
+        if (tracker_ && config_.cgct.regionPrefetchHints) {
+            if (isExternallyDirty(tracker_->peekState(c.lineAddr)))
+                continue;
+        }
+        ++stats_.prefetchesIssued;
+        warmRequest(c.exclusive ? RequestType::PrefetchExclusive
+                                : RequestType::Prefetch,
+                    c.lineAddr, now, /*is_prefetch=*/true);
+    }
+}
+
+LineSnoopOutcome
+Node::warmSnoopLine(const SystemRequest &req)
+{
+    // Same transitions as snoopLine, without the tag-port occupancy or
+    // the snoop statistics (the warm phase is not measured).
+    const SnoopKind kind = snoopKindOf(req.type);
+    CacheLine *line = l2_.peekMutable(req.lineAddr);
+    const LineSnoopOutcome out =
+        applyLineSnoop(line ? line->state : LineState::Invalid, kind);
+    if (line && out.next != out.before) {
+        if (out.next == LineState::Invalid) {
+            l1d_.invalidateLine(req.lineAddr);
+            l1i_.invalidateLine(req.lineAddr);
+            l2_.invalidateLine(req.lineAddr);
+            if (tracker_)
+                tracker_->onLineEvict(req.lineAddr);
+        } else {
+            line->state = out.next;
+            if (CacheLine *l1line = l1d_.peekMutable(req.lineAddr))
+                l1line->state = LineState::Shared;
+        }
+    }
+    return out;
+}
+
+RegionSnoopBits
+Node::warmSnoopRegion(const SystemRequest &req,
+                      bool requester_gets_exclusive, Tick now)
+{
+    if (!tracker_)
+        return RegionSnoopBits{};
+    if (config_.cgct.sharedPerChip && req.cpu >= 0 &&
+        static_cast<unsigned>(req.cpu) < config_.topology.numCpus &&
+        config_.topology.chipOfCpu(req.cpu) ==
+            config_.topology.chipOfCpu(cpu_)) {
+        return RegionSnoopBits{};
+    }
+    return tracker_->externalSnoop(req.lineAddr, requester_gets_exclusive,
+                                   now);
+}
+
 LineState
 Node::peekLine(Addr addr) const
 {

@@ -88,6 +88,25 @@ class Node : public SnoopClient
     /** Side-effect-free L2 state probe (oracle, tests). */
     LineState peekLine(Addr addr) const;
 
+    /**
+     * Functional warming (docs/SAMPLING.md): perform one processor
+     * memory operation with full architectural effect — cache contents,
+     * MOESI states, region tracker, prefetcher — but zero timing: no
+     * events, no bus arbitration, no MSHR occupancy, no latency. Every
+     * request resolves synchronously at warm tick @p now; peer caches
+     * are snooped through the warm snoop path, which applies the same
+     * state transitions as a bus snoop without occupying tag ports.
+     * Requires setWarmPeers() first and a node with nothing in flight.
+     */
+    void warmAccess(CpuOpKind kind, Addr addr, Tick now);
+
+    /** All nodes of the warm system (including this one), in CPU order.
+     *  Borrowed for the lifetime of the warming phase. */
+    void setWarmPeers(const std::vector<Node *> *peers)
+    {
+        warmPeers_ = peers;
+    }
+
     /** Region tracker (nullptr in the baseline configuration). */
     RegionTracker *tracker() { return tracker_.get(); }
     const RegionTracker *tracker() const { return tracker_.get(); }
@@ -276,6 +295,29 @@ class Node : public SnoopClient
     /** Record a completed demand miss's latency. */
     void noteMissLatency(Tick issued, Tick ready);
 
+    // Functional-warming mirrors of the request path (docs/SAMPLING.md).
+    // Each applies exactly the architectural transitions of its timing
+    // twin, synchronously, with no events and no timing side effects.
+    void warmL2Access(CpuOpKind kind, Addr addr, Tick now);
+    void warmRequest(RequestType type, Addr line_addr, Tick now,
+                     bool is_prefetch);
+    void warmBroadcast(RequestType type, Addr line_addr, Tick now,
+                       bool is_prefetch);
+    void warmDirect(RequestType type, Addr line_addr, MemCtrlId mc,
+                    Tick now);
+    void warmLocalComplete(RequestType type, Addr line_addr, Tick now);
+    void warmInstallL2Line(Addr line_addr, LineState state, Tick now);
+    void warmEvictL2Line(Addr line_addr, LineState state, Tick now);
+    void warmWriteback(Addr line_addr, Tick now);
+    void warmMaybePrefetch(Addr line_addr, bool is_store, bool was_miss,
+                           Tick now);
+    /** Peer-side line snoop without the L2 tag-port occupancy. */
+    LineSnoopOutcome warmSnoopLine(const SystemRequest &req);
+    /** Peer-side region snoop at warm tick @p now. */
+    RegionSnoopBits warmSnoopRegion(const SystemRequest &req,
+                                    bool requester_gets_exclusive,
+                                    Tick now);
+
     CpuId cpu_;
     const SystemConfig &config_;
     EventQueue &eq_;
@@ -322,6 +364,8 @@ class Node : public SnoopClient
                                kMissLatencyBuckets};
     TraceSink *trace_ = nullptr;
     InvariantChecker *checker_ = nullptr;
+    /** Warm-phase peer nodes (null outside functional warming). */
+    const std::vector<Node *> *warmPeers_ = nullptr;
 };
 
 } // namespace cgct

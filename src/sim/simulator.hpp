@@ -62,6 +62,28 @@ struct RunOptions {
     std::string capturePath;
 };
 
+/**
+ * Per-window summaries of a sampled run (docs/SAMPLING.md). Attached to
+ * RunResult when the run was produced by simulateSampled(); each
+ * RunSummary is over the K per-window measurements, so ci95Half is the
+ * 95% Student-t half-width an error bar should show.
+ */
+struct SamplingInfo {
+    std::uint64_t windows = 0;      ///< Measurement windows (K).
+    std::uint64_t windowOps = 0;    ///< Detailed ops per CPU per window.
+    std::string warmMode;           ///< "functional" or "detailed".
+    std::uint64_t spanOps = 0;      ///< Post-warmup ops represented.
+    std::uint64_t sampledOps = 0;   ///< Ops measured in detail (K * w).
+    double scale = 1.0;             ///< spanOps / sampledOps.
+
+    // Per-window summaries (mean / stddev / 95% CI over the K windows).
+    RunSummary cycles;              ///< Detailed cycles per window.
+    RunSummary avgMissLatency;
+    RunSummary l2MissRatio;
+    RunSummary avoidedFraction;
+    RunSummary avgBroadcastsPer100k;
+};
+
 /** Everything measured in one run. */
 struct RunResult {
     static constexpr std::size_t kNumCat =
@@ -118,6 +140,11 @@ struct RunResult {
     /** Captured trace events (only when config.obs.trace was set).
      *  Shared so copying RunResult around the sweep stays cheap. */
     std::shared_ptr<const std::vector<TraceEvent>> trace;
+
+    /** Per-window CIs when this result came from a sampled run
+     *  (simulateSampled); null for full-detail runs. Shared for the
+     *  same reason as the trace above. */
+    std::shared_ptr<const SamplingInfo> sampling;
 
     /** Fraction of requests that avoided a broadcast (direct + local). */
     double

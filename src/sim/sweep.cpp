@@ -93,7 +93,16 @@ SweepRunner::runResumable(const ResumeHooks &hooks,
                     : spec_.baseConfig;
             RunOptions opts = spec_.opts;
             opts.seed = cell.seed;
-            RunResult r = simulateOnce(config, *cell.profile, opts);
+            RunResult r;
+            if (spec_.sampled) {
+                // Cells are the unit of parallelism; the windows inside
+                // one cell run serially (no nested pools).
+                SamplingOptions sopts = spec_.sampling;
+                sopts.jobs = 1;
+                r = simulateSampled(config, *cell.profile, opts, sopts);
+            } else {
+                r = simulateOnce(config, *cell.profile, opts);
+            }
             if (hooks.onCompleted)
                 hooks.onCompleted(cell, r);
             const std::size_t done = completed.fetch_add(1) + 1;
@@ -130,22 +139,28 @@ SweepRunner::runResumable(const ResumeHooks &hooks,
 }
 
 void
-writeSweepCsvHeader(std::ostream &os)
+writeSweepCsvHeader(std::ostream &os, bool sampled)
 {
     os << "workload,region_bytes,seed,cycles,instructions,"
           "requests,broadcasts,directs,locals,writebacks,"
           "avoided_fraction,oracle_unnecessary_fraction,"
           "avg_bcast_per_100k,peak_bcast_per_100k,l2_miss_ratio,"
-          "avg_miss_latency\n";
+          "avg_miss_latency";
+    if (sampled)
+        os << ",windows,window_ops,warm_mode,window_cycles_mean,"
+              "window_cycles_ci95,avoided_fraction_ci95,"
+              "l2_miss_ratio_ci95,avg_miss_latency_ci95,"
+              "avg_bcast_per_100k_ci95";
+    os << "\n";
 }
 
 void
-writeSweepCsvRow(std::ostream &os, const RunResult &r)
+writeSweepCsvRow(std::ostream &os, const RunResult &r, bool sampled)
 {
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,"
-                  "%.6f,%.2f,%.2f,%.6f,%.2f\n",
+                  "%.6f,%.2f,%.2f,%.6f,%.2f",
                   r.workload.c_str(),
                   static_cast<unsigned long long>(r.regionBytes),
                   static_cast<unsigned long long>(r.seed),
@@ -160,6 +175,26 @@ writeSweepCsvRow(std::ostream &os, const RunResult &r)
                   r.avgBroadcastsPer100k, r.peakBroadcastsPer100k,
                   r.l2MissRatio, r.avgMissLatency);
     os << buf;
+    if (sampled) {
+        // A full-detail result in a sampled sweep (shouldn't happen, but
+        // a resumed journal could mix) pads with empty CI fields.
+        if (r.sampling) {
+            const SamplingInfo &s = *r.sampling;
+            std::snprintf(buf, sizeof(buf),
+                          ",%llu,%llu,%s,%.2f,%.2f,%.6f,%.6f,%.2f,%.2f",
+                          static_cast<unsigned long long>(s.windows),
+                          static_cast<unsigned long long>(s.windowOps),
+                          s.warmMode.c_str(), s.cycles.mean,
+                          s.cycles.ci95Half, s.avoidedFraction.ci95Half,
+                          s.l2MissRatio.ci95Half,
+                          s.avgMissLatency.ci95Half,
+                          s.avgBroadcastsPer100k.ci95Half);
+            os << buf;
+        } else {
+            os << ",,,,,,,,,";
+        }
+    }
+    os << "\n";
 }
 
 } // namespace cgct

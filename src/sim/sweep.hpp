@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "sim/sampling.hpp"
 #include "sim/simulator.hpp"
 #include "workload/profile.hpp"
 
@@ -52,6 +53,17 @@ struct SweepSpec {
     std::uint64_t baseSeed = 20050609;
     RunOptions opts;                 ///< seed is overwritten per cell.
     SystemConfig baseConfig;
+
+    /**
+     * When true, every cell runs one sampled simulation
+     * (simulateSampled) instead of a full-detail run: confidence comes
+     * from the measurement windows rather than seed repetition, so the
+     * caller normally pairs this with seedsPerCell = 1
+     * (docs/SAMPLING.md). Windows run serially inside each cell — the
+     * sweep already parallelizes across cells.
+     */
+    bool sampled = false;
+    SamplingOptions sampling;
 
     /** Enumerate cells: profile-major, then region, then seed — the
      * exact order the serial sweep always emitted. */
@@ -127,10 +139,16 @@ class SweepRunner
     unsigned jobs_;
 };
 
-/** CSV header matching writeSweepCsvRow's column order. */
-void writeSweepCsvHeader(std::ostream &os);
+/**
+ * CSV header matching writeSweepCsvRow's column order. The default is
+ * the historical 16-column format, byte-identical to every earlier
+ * release; @p sampled appends the per-window CI columns a sampled sweep
+ * fills in (docs/SAMPLING.md).
+ */
+void writeSweepCsvHeader(std::ostream &os, bool sampled = false);
 
-/** One CSV row (the historical cgct_sweep 16-column format). */
-void writeSweepCsvRow(std::ostream &os, const RunResult &r);
+/** One CSV row (16 columns, plus the sampling columns when asked). */
+void writeSweepCsvRow(std::ostream &os, const RunResult &r,
+                      bool sampled = false);
 
 } // namespace cgct

@@ -99,6 +99,28 @@ encodeRunResult(Serializer &s, const RunResult &r)
         s.f64(d.mean);
         s.f64(d.stddev);
     }
+
+    // Sampling tail (sampled sweeps): optional so records from a
+    // full-detail sweep stay byte-identical to version-1 journals.
+    s.b(r.sampling != nullptr);
+    if (r.sampling) {
+        const SamplingInfo &si = *r.sampling;
+        s.u64(si.windows);
+        s.u64(si.windowOps);
+        s.str(si.warmMode);
+        s.u64(si.spanOps);
+        s.u64(si.sampledOps);
+        s.f64(si.scale);
+        const RunSummary *sums[] = {&si.cycles, &si.avgMissLatency,
+                                    &si.l2MissRatio, &si.avoidedFraction,
+                                    &si.avgBroadcastsPer100k};
+        for (const RunSummary *sum : sums) {
+            s.f64(sum->mean);
+            s.f64(sum->stddev);
+            s.f64(sum->ci95Half);
+            s.u64(sum->count);
+        }
+    }
 }
 
 RunResult
@@ -163,6 +185,27 @@ decodeRunResult(SectionReader &r)
         d.mean = r.f64();
         d.stddev = r.f64();
     }
+
+    // Records written before the sampling tail existed simply end here.
+    if (!r.atEnd() && r.b()) {
+        auto si = std::make_shared<SamplingInfo>();
+        si->windows = r.u64();
+        si->windowOps = r.u64();
+        si->warmMode = r.str();
+        si->spanOps = r.u64();
+        si->sampledOps = r.u64();
+        si->scale = r.f64();
+        RunSummary *sums[] = {&si->cycles, &si->avgMissLatency,
+                              &si->l2MissRatio, &si->avoidedFraction,
+                              &si->avgBroadcastsPer100k};
+        for (RunSummary *sum : sums) {
+            sum->mean = r.f64();
+            sum->stddev = r.f64();
+            sum->ci95Half = r.f64();
+            sum->count = r.u64();
+        }
+        out.sampling = std::move(si);
+    }
     return out;
 }
 
@@ -181,6 +224,14 @@ sweepFingerprint(const SweepSpec &spec)
     s.u64(spec.baseSeed);
     s.u64(spec.opts.opsPerCpu);
     s.u64(spec.opts.warmupOps);
+    // Appended only for sampled sweeps, so full-detail fingerprints (and
+    // their resume journals) are unchanged from earlier releases.
+    if (spec.sampled) {
+        s.str("sampled");
+        s.u64(spec.sampling.windows);
+        s.u64(spec.sampling.windowOps);
+        s.str(warmModeName(spec.sampling.warmMode));
+    }
     return xxhash64(s.buffer().data(), s.size());
 }
 

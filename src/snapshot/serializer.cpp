@@ -378,6 +378,20 @@ Deserializer::open(const std::string &path)
     if (got != data_.size())
         return "short read on snapshot file: " + path;
 
+    return parse(path);
+}
+
+std::string
+Deserializer::openBytes(std::vector<std::uint8_t> bytes,
+                        const std::string &label)
+{
+    data_ = std::move(bytes);
+    return parse(label);
+}
+
+std::string
+Deserializer::parse(const std::string &path)
+{
     if (data_.size() < sizeof(kSnapshotMagic) + 4 + 8)
         return path + ": truncated snapshot header";
     if (std::memcmp(data_.data(), kSnapshotMagic,

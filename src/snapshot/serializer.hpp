@@ -150,6 +150,14 @@ class Deserializer {
      */
     std::string open(const std::string &path);
 
+    /**
+     * Validate an in-memory snapshot (same checks as open()). @p label
+     * names the buffer in error messages. Used by the sampling engine,
+     * whose warm-phase checkpoints never touch disk (docs/SAMPLING.md).
+     */
+    std::string openBytes(std::vector<std::uint8_t> bytes,
+                          const std::string &label);
+
     std::uint32_t version() const { return version_; }
     std::uint64_t fingerprint() const { return fingerprint_; }
 
@@ -162,6 +170,8 @@ class Deserializer {
         std::size_t begin = 0;
         std::size_t end = 0;
     };
+
+    std::string parse(const std::string &label);
 
     std::vector<std::uint8_t> data_;
     std::vector<std::pair<std::string, Range>> sections_;

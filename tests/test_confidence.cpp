@@ -58,6 +58,49 @@ TEST(Confidence, TCriticalTable)
     EXPECT_EQ(tCritical95(0), 0.0);
 }
 
+TEST(Confidence, TwoSamplesUseWidestT)
+{
+    // n = 2 has a single degree of freedom: t(1) = 12.706, so the CI is
+    // enormous relative to the spread — exactly why one extra window
+    // helps so much in a sampled run (docs/SAMPLING.md).
+    const RunSummary s = summarize({10.0, 14.0});
+    EXPECT_DOUBLE_EQ(s.mean, 12.0);
+    // Sample stddev of {10, 14} is sqrt(8) ~ 2.828.
+    EXPECT_NEAR(s.stddev, std::sqrt(8.0), 1e-9);
+    EXPECT_NEAR(s.ci95Half, 12.706 * std::sqrt(8.0) / std::sqrt(2.0),
+                1e-2);
+}
+
+TEST(Confidence, TCriticalIsMonotonicallyDecreasing)
+{
+    // More degrees of freedom never widen the interval.
+    double prev = tCritical95(1);
+    for (std::size_t dof = 2; dof <= 200; ++dof) {
+        const double t = tCritical95(dof);
+        EXPECT_LE(t, prev + 1e-12) << "dof " << dof;
+        EXPECT_GT(t, 1.9) << "dof " << dof;
+        prev = t;
+    }
+}
+
+TEST(Confidence, NegativeAndMixedSamples)
+{
+    const RunSummary s = summarize({-2.0, 0.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+    EXPECT_GT(s.ci95Half, 0.0);
+}
+
+TEST(Confidence, LargeMagnitudeKeepsPrecision)
+{
+    // Means far from zero must not swamp the variance (catastrophic
+    // cancellation in a naive sum-of-squares implementation).
+    const RunSummary s =
+        summarize({1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0, 1e9 + 4.0});
+    EXPECT_NEAR(s.mean, 1e9 + 2.5, 1e-3);
+    EXPECT_NEAR(s.stddev, 1.29099, 1e-3);
+}
+
 TEST(Confidence, WidthShrinksWithSamples)
 {
     std::vector<double> small{10, 12, 11, 13};

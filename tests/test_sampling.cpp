@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the statistical-sampling engine (docs/SAMPLING.md):
+ * determinism across job counts, agreement with full-detail runs,
+ * geometry validation, warm-state invariants, journal persistence of
+ * the sampling tail, and the sampled sweep CSV columns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/sampling.hpp"
+#include "sim/sweep.hpp"
+#include "snapshot/journal.hpp"
+#include "snapshot/serializer.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace cgct {
+namespace {
+
+RunOptions
+smallRun()
+{
+    RunOptions opts;
+    opts.opsPerCpu = 12000;
+    opts.warmupOps = 2400;
+    opts.seed = 7;
+    return opts;
+}
+
+SamplingOptions
+smallSampling()
+{
+    SamplingOptions sopts;
+    sopts.windows = 4;
+    sopts.windowOps = 500;
+    return sopts;
+}
+
+/** Canonical byte encoding of a result (the journal's), for equality. */
+std::vector<std::uint8_t>
+encoded(const RunResult &r)
+{
+    Serializer s;
+    encodeRunResult(s, r);
+    return {s.buffer().data(), s.buffer().data() + s.size()};
+}
+
+TEST(Sampling, ParseWarmMode)
+{
+    WarmMode m = WarmMode::Detailed;
+    EXPECT_TRUE(parseWarmMode("functional", &m));
+    EXPECT_EQ(m, WarmMode::Functional);
+    EXPECT_TRUE(parseWarmMode("detailed", &m));
+    EXPECT_EQ(m, WarmMode::Detailed);
+    EXPECT_FALSE(parseWarmMode("warm", &m));
+    EXPECT_FALSE(parseWarmMode("", &m));
+    EXPECT_STREQ(warmModeName(WarmMode::Functional), "functional");
+    EXPECT_STREQ(warmModeName(WarmMode::Detailed), "detailed");
+}
+
+TEST(Sampling, InfoGeometry)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    const RunResult r = simulateSampled(config, benchmarkByName("tpc-w"),
+                                        smallRun(), smallSampling());
+    ASSERT_NE(r.sampling, nullptr);
+    EXPECT_EQ(r.sampling->windows, 4u);
+    EXPECT_EQ(r.sampling->windowOps, 500u);
+    EXPECT_EQ(r.sampling->warmMode, "functional");
+    EXPECT_EQ(r.sampling->spanOps, 12000u - 2400u);
+    EXPECT_EQ(r.sampling->sampledOps, 4u * 500u);
+    EXPECT_DOUBLE_EQ(r.sampling->scale, 9600.0 / 2000.0);
+    EXPECT_EQ(r.sampling->cycles.count, 4u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.requestsTotal, 0u);
+}
+
+TEST(Sampling, ByteIdenticalAcrossJobs)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    const WorkloadProfile &profile = benchmarkByName("tpc-w");
+
+    SamplingOptions serial = smallSampling();
+    serial.jobs = 1;
+    SamplingOptions parallel = smallSampling();
+    parallel.jobs = 4;
+
+    const RunResult a =
+        simulateSampled(config, profile, smallRun(), serial);
+    const RunResult b =
+        simulateSampled(config, profile, smallRun(), parallel);
+    EXPECT_EQ(encoded(a), encoded(b));
+}
+
+TEST(Sampling, ZeroWindowsFallsBackToFullDetail)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    const WorkloadProfile &profile = benchmarkByName("tpc-w");
+    SamplingOptions off;
+    off.windows = 0;
+    const RunResult sampled =
+        simulateSampled(config, profile, smallRun(), off);
+    const RunResult full = simulateOnce(config, profile, smallRun());
+    EXPECT_EQ(sampled.sampling, nullptr);
+    EXPECT_EQ(encoded(sampled), encoded(full));
+}
+
+TEST(Sampling, FunctionalEstimatesTrackFullDetail)
+{
+    // The sampled headline ratios must land near the full-detail run —
+    // within the larger of the reported CI and a small absolute slack
+    // (one run of one seed is itself noisy).
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    const WorkloadProfile &profile = benchmarkByName("tpc-w");
+    RunOptions opts;
+    opts.opsPerCpu = 60000;
+    opts.warmupOps = 12000;
+    opts.seed = 7;
+    SamplingOptions sopts;
+    sopts.windows = 8;
+    sopts.windowOps = 1000;
+
+    const RunResult full = simulateOnce(config, profile, opts);
+    const RunResult sampled =
+        simulateSampled(config, profile, opts, sopts);
+    ASSERT_NE(sampled.sampling, nullptr);
+
+    const SamplingInfo &s = *sampled.sampling;
+    EXPECT_NEAR(sampled.avoidedFraction(), full.avoidedFraction(),
+                std::max(2.0 * s.avoidedFraction.ci95Half, 0.05));
+    EXPECT_NEAR(sampled.l2MissRatio, full.l2MissRatio,
+                std::max(2.0 * s.l2MissRatio.ci95Half, 0.05));
+    EXPECT_NEAR(sampled.avgMissLatency, full.avgMissLatency,
+                std::max(2.0 * s.avgMissLatency.ci95Half,
+                         0.1 * full.avgMissLatency));
+    // Scaled totals should be the right order of magnitude.
+    EXPECT_GT(sampled.requestsTotal, full.requestsTotal / 2);
+    EXPECT_LT(sampled.requestsTotal, full.requestsTotal * 2);
+}
+
+TEST(Sampling, DetailedWarmingMatchesGeometry)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    SamplingOptions sopts = smallSampling();
+    sopts.warmMode = WarmMode::Detailed;
+    const RunResult r = simulateSampled(config, benchmarkByName("tpc-w"),
+                                        smallRun(), sopts);
+    ASSERT_NE(r.sampling, nullptr);
+    EXPECT_EQ(r.sampling->warmMode, "detailed");
+    EXPECT_EQ(r.sampling->cycles.count, 4u);
+    EXPECT_GT(r.requestsTotal, 0u);
+}
+
+TEST(Sampling, BaselineConfigWorks)
+{
+    // CGCT off: the warm path must run without a region tracker.
+    const SystemConfig config = makeDefaultConfig();
+    const RunResult r = simulateSampled(config, benchmarkByName("tpc-w"),
+                                        smallRun(), smallSampling());
+    EXPECT_EQ(r.directs, 0u);
+    EXPECT_EQ(r.locals, 0u);
+    EXPECT_GT(r.broadcasts, 0u);
+}
+
+TEST(Sampling, WarmStateSatisfiesInvariants)
+{
+    // The end-of-window invariant sweep (collectRunResult -> checkAll)
+    // cross-checks RCA state against cache contents, so a sampled run
+    // with the checker on validates the functionally-warmed state.
+    SystemConfig config = makeDefaultConfig().withCgct(512);
+    config.obs.checkInvariants = true;
+    const RunResult r = simulateSampled(config, benchmarkByName("tpc-w"),
+                                        smallRun(), smallSampling());
+    EXPECT_GT(r.requestsTotal, 0u);
+}
+
+TEST(SamplingDeathTest, RejectsOversizedWindows)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    RunOptions opts = smallRun(); // span 9600, 4 windows -> max 2400
+    SamplingOptions sopts = smallSampling();
+    sopts.windowOps = 3000;
+    EXPECT_DEATH(simulateSampled(config, benchmarkByName("tpc-w"), opts,
+                                 sopts),
+                 "do not fit");
+}
+
+TEST(SamplingDeathTest, RejectsWarmupPastEnd)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    RunOptions opts = smallRun();
+    opts.warmupOps = opts.opsPerCpu;
+    EXPECT_DEATH(simulateSampled(config, benchmarkByName("tpc-w"), opts,
+                                 smallSampling()),
+                 "warmup");
+}
+
+TEST(SamplingDeathTest, RejectsDma)
+{
+    SystemConfig config = makeDefaultConfig().withCgct(512);
+    config.dma.enabled = true;
+    EXPECT_DEATH(simulateSampled(config, benchmarkByName("tpc-w"),
+                                 smallRun(), smallSampling()),
+                 "DMA");
+}
+
+TEST(Sampling, JournalRoundTripsSamplingTail)
+{
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    const RunResult in = simulateSampled(config, benchmarkByName("tpc-w"),
+                                         smallRun(), smallSampling());
+    ASSERT_NE(in.sampling, nullptr);
+
+    Serializer s;
+    encodeRunResult(s, in);
+    SectionReader r(s.buffer().data(), s.buffer().data() + s.size(),
+                    "roundtrip");
+    const RunResult out = decodeRunResult(r);
+    ASSERT_NE(out.sampling, nullptr);
+    EXPECT_EQ(out.sampling->windows, in.sampling->windows);
+    EXPECT_EQ(out.sampling->warmMode, in.sampling->warmMode);
+    EXPECT_DOUBLE_EQ(out.sampling->scale, in.sampling->scale);
+    EXPECT_DOUBLE_EQ(out.sampling->cycles.ci95Half,
+                     in.sampling->cycles.ci95Half);
+    EXPECT_EQ(encoded(in), encoded(out));
+}
+
+TEST(Sampling, JournalDecodeAcceptsRecordsWithoutTail)
+{
+    // Records journaled by a full-detail sweep end at the distribution
+    // list; the decoder must not read past them.
+    RunResult in;
+    in.workload = "tpc-w";
+    in.cycles = 123;
+    Serializer s;
+    encodeRunResult(s, in);
+    // Strip the one-byte "no sampling" marker to mimic an old record.
+    SectionReader r(s.buffer().data(),
+                    s.buffer().data() + s.size() - 1, "old-record");
+    const RunResult out = decodeRunResult(r);
+    EXPECT_EQ(out.cycles, 123u);
+    EXPECT_EQ(out.sampling, nullptr);
+}
+
+TEST(Sampling, SweepEmitsCiColumns)
+{
+    SweepSpec spec;
+    spec.profiles.push_back(&benchmarkByName("tpc-w"));
+    spec.regionSizes = {0, 512};
+    spec.seedsPerCell = 1;
+    spec.opts = smallRun();
+    spec.baseConfig = makeDefaultConfig();
+    spec.sampled = true;
+    spec.sampling = smallSampling();
+
+    std::ostringstream os;
+    writeSweepCsvHeader(os, true);
+    SweepRunner runner(spec, 2);
+    const std::vector<RunResult> results = runner.run(
+        [&os](const SweepCell &, const RunResult &r) {
+            writeSweepCsvRow(os, r, true);
+        });
+    ASSERT_EQ(results.size(), 2u);
+
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_NE(line.find(",windows,window_ops,warm_mode,"),
+              std::string::npos);
+    const auto columns = [](const std::string &row) {
+        return 1 + static_cast<int>(
+                       std::count(row.begin(), row.end(), ','));
+    };
+    const int header_cols = columns(line);
+    while (std::getline(is, line)) {
+        EXPECT_EQ(columns(line), header_cols);
+        EXPECT_NE(line.find(",functional,"), std::string::npos);
+    }
+}
+
+TEST(Sampling, SweepCsvIdenticalAcrossJobs)
+{
+    SweepSpec spec;
+    spec.profiles.push_back(&benchmarkByName("tpc-w"));
+    spec.regionSizes = {0, 512};
+    spec.seedsPerCell = 1;
+    spec.opts = smallRun();
+    spec.baseConfig = makeDefaultConfig();
+    spec.sampled = true;
+    spec.sampling = smallSampling();
+
+    const auto sweepCsv = [&spec](unsigned jobs) {
+        std::ostringstream os;
+        writeSweepCsvHeader(os, true);
+        SweepRunner runner(spec, jobs);
+        runner.run([&os](const SweepCell &, const RunResult &r) {
+            writeSweepCsvRow(os, r, true);
+        });
+        return os.str();
+    };
+    EXPECT_EQ(sweepCsv(1), sweepCsv(4));
+}
+
+} // namespace
+} // namespace cgct

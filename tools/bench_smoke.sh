@@ -4,7 +4,8 @@
 #
 #   tools/bench_smoke.sh <bench_event_queue-binary> [repo-root] \
 #                        [bench_memory_system-binary] \
-#                        [bench_trace_replay-binary]
+#                        [bench_trace_replay-binary] \
+#                        [bench_sampling-binary]
 #
 # 1. Runs bench_event_queue for a few iterations. The binary itself
 #    enforces the zero-allocation contract (it exits non-zero if the
@@ -36,10 +37,11 @@
 
 set -u
 
-bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root] [bench_memory_system-binary] [bench_trace_replay-binary]}"
+bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root] [bench_memory_system-binary] [bench_trace_replay-binary] [bench_sampling-binary]}"
 root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
 membench="${3:-}"
 tracebench="${4:-}"
+samplingbench="${5:-}"
 
 if [ ! -x "$bench" ]; then
     echo "bench_smoke: bench binary not found: $bench" >&2
@@ -220,6 +222,63 @@ print(f"bench_smoke: replay {got:.3g} ops/s >= {frac} x baseline "
 PYEOF
     else
         echo "bench_smoke: python3 missing, skipping trace gate" >&2
+    fi
+fi
+
+# Sampling gate: the sampled run must keep a healthy wall-clock lead
+# over the full-detail sweep cell it replaces, and its CI must stay
+# tight enough to be worth reporting (docs/SAMPLING.md). The CI run is
+# shorter than the recorded baseline, so the default slack is wide
+# (override: CGCT_BENCH_SAMPLING_MIN_FRAC).
+if [ -n "$samplingbench" ]; then
+    if [ ! -x "$samplingbench" ]; then
+        echo "bench_smoke: bench_sampling binary not found:" \
+             "$samplingbench" >&2
+        exit 1
+    fi
+    sampling_baseline="$root/BENCH_sampling.json"
+    if [ ! -f "$sampling_baseline" ]; then
+        echo "bench_smoke: $sampling_baseline is missing (record the" \
+             "sampling baseline; see docs/SAMPLING.md)" >&2
+        exit 1
+    fi
+    sampling_out="$("$samplingbench" --ops 400000)" || {
+        echo "bench_smoke: bench_sampling failed" >&2
+        exit 1
+    }
+    json_check "$sampling_out" "bench_sampling output" \
+        schema ops seeds windows window_ops full_seconds \
+        sampled_seconds speedup_vs_full_cell \
+        window_cycles_ci95_rel || exit 1
+    json_check "$(cat "$sampling_baseline")" "BENCH_sampling.json" \
+        schema date build sampling || exit 1
+
+    sampling_min_frac="${CGCT_BENCH_SAMPLING_MIN_FRAC:-0.35}"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$sampling_baseline" "$sampling_min_frac" <<PYEOF || exit 1
+import json, sys
+fresh = json.loads("""$sampling_out""")
+ref = json.load(open(sys.argv[1]))["sampling"]
+frac = float(sys.argv[2])
+got = fresh["speedup_vs_full_cell"]
+base = ref["speedup_vs_full_cell"]
+floor = frac * base
+if got < floor:
+    sys.exit(f"bench_smoke: sampling speedup {got:.2f}x is below "
+             f"{frac} x baseline {base:.2f}x (floor {floor:.2f}x) — "
+             f"warm-path perf regression?")
+if got < 1.0:
+    sys.exit("bench_smoke: sampled run is slower than the full-detail "
+             "cell it replaces — sampling has no point at this scale")
+rel = fresh["window_cycles_ci95_rel"]
+if rel > 0.5:
+    sys.exit(f"bench_smoke: window-cycles CI is {rel:.0%} of the mean — "
+             f"windows too small or too few to report")
+print(f"bench_smoke: sampling speedup {got:.2f}x >= {frac} x baseline "
+      f"{base:.2f}x, CI width {rel:.1%} of mean")
+PYEOF
+    else
+        echo "bench_smoke: python3 missing, skipping sampling gate" >&2
     fi
 fi
 

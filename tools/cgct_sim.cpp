@@ -23,6 +23,7 @@
 #include "common/config.hpp"
 #include "common/trace_sink.hpp"
 #include "sim/json_stats.hpp"
+#include "sim/sampling.hpp"
 #include "sim/simulator.hpp"
 #include "sim/system.hpp"
 #include "snapshot/snapshot.hpp"
@@ -64,6 +65,29 @@ printSummary(const RunResult &r)
     std::printf("broadcast traffic   %.0f avg / %.0f peak per 100K "
                 "cycles\n",
                 r.avgBroadcastsPer100k, r.peakBroadcastsPer100k);
+    if (r.sampling) {
+        const SamplingInfo &s = *r.sampling;
+        std::printf("sampled             %llu windows x %llu ops, %s "
+                    "warming (%.1f%% of the %llu-op span in detail)\n",
+                    static_cast<unsigned long long>(s.windows),
+                    static_cast<unsigned long long>(s.windowOps),
+                    s.warmMode.c_str(),
+                    100.0 / s.scale,
+                    static_cast<unsigned long long>(s.spanOps));
+        std::printf("  window cycles     %.0f +- %.0f (95%% CI)\n",
+                    s.cycles.mean, s.cycles.ci95Half);
+        std::printf("  miss latency      %.1f +- %.1f cycles\n",
+                    s.avgMissLatency.mean, s.avgMissLatency.ci95Half);
+        std::printf("  L2 miss ratio     %.2f%% +- %.2f%%\n",
+                    100.0 * s.l2MissRatio.mean,
+                    100.0 * s.l2MissRatio.ci95Half);
+        std::printf("  avoided fraction  %.1f%% +- %.1f%%\n",
+                    100.0 * s.avoidedFraction.mean,
+                    100.0 * s.avoidedFraction.ci95Half);
+        std::printf("  broadcasts/100k   %.0f +- %.0f\n",
+                    s.avgBroadcastsPer100k.mean,
+                    s.avgBroadcastsPer100k.ci95Half);
+    }
 }
 
 void
@@ -113,6 +137,9 @@ main(int argc, char **argv)
     std::uint64_t checkpoint_every = 0;
     std::string checkpoint_path;
     std::string restore_path;
+    std::uint64_t sample = 0;
+    std::uint64_t window_ops = 1000;
+    std::string warm_mode = "functional";
 
     ArgParser parser(
         "cgct_sim",
@@ -167,6 +194,15 @@ main(int argc, char **argv)
     parser.addString("restore", &restore_path,
                      "restore from this snapshot and run to the end; "
                      "refuses snapshots from a different configuration");
+    parser.addU64("sample", &sample,
+                  "statistical sampling: fast-forward under --warm-mode "
+                  "and measure N detailed windows with 95% CIs "
+                  "(docs/SAMPLING.md); 0 = full-detail run");
+    parser.addU64("window-ops", &window_ops,
+                  "detailed ops per CPU in each sampled window");
+    parser.addString("warm-mode", &warm_mode,
+                     "state warming between windows: functional (fast) "
+                     "or detailed (reference)");
     parser.addFlag("check-invariants", &check_invariants,
                    "cross-check region state against cache contents at "
                    "every ordering point");
@@ -230,9 +266,33 @@ main(int argc, char **argv)
         }
     }
 
+    WarmMode wmode = WarmMode::Functional;
+    if (!parseWarmMode(warm_mode, &wmode)) {
+        std::fprintf(stderr, "cgct_sim: --warm-mode must be functional "
+                             "or detailed\n");
+        return 1;
+    }
+
     const bool checkpointing =
         checkpoint_every || !checkpoint_path.empty() ||
         !restore_path.empty();
+    if (sample) {
+        if (!replay_path.empty() || checkpointing ||
+            !capture_path.empty() || !trace_out.empty() || dma) {
+            std::fprintf(stderr,
+                         "cgct_sim: --sample is a live generated run; it "
+                         "does not combine with --replay, "
+                         "checkpoint/restore, --capture, --trace or "
+                         "--dma (docs/SAMPLING.md)\n");
+            return 1;
+        }
+        if (seeds != 1) {
+            std::fprintf(stderr, "cgct_sim: --sample draws its CI from "
+                                 "the windows of one run, so it "
+                                 "requires --seeds 1\n");
+            return 1;
+        }
+    }
     if (checkpointing) {
         if (!replay_path.empty() &&
             traceFileVersion(replay_path) == kTraceVersion1) {
@@ -261,7 +321,18 @@ main(int argc, char **argv)
     }
 
     std::vector<RunResult> results;
-    if (checkpointing && !replay_path.empty()) {
+    if (sample) {
+        const WorkloadProfile &profile = benchmarkByName(benchmark);
+        // First link of simulateSeeds' chain, so a sampled run estimates
+        // the same experiment as `--seeds 1`.
+        opts.seed = opts.seed * 2654435761ULL + 12345;
+        SamplingOptions sopts;
+        sopts.windows = sample;
+        sopts.windowOps = window_ops;
+        sopts.warmMode = wmode;
+        sopts.jobs = static_cast<unsigned>(jobs);
+        results.push_back(simulateSampled(config, profile, opts, sopts));
+    } else if (checkpointing && !replay_path.empty()) {
         CheckpointOptions ckpt;
         ckpt.everyOps = checkpoint_every;
         ckpt.writePrefix = checkpoint_path;

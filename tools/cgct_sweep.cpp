@@ -72,6 +72,9 @@ main(int argc, char **argv)
     bool progress = false;
     bool no_progress = false;
     std::string resume_path;
+    std::uint64_t sample = 0;
+    std::uint64_t window_ops = 1000;
+    std::string warm_mode = "functional";
 
     ArgParser parser("cgct_sweep",
                      "Run the benchmark x region-size matrix in parallel "
@@ -99,6 +102,16 @@ main(int argc, char **argv)
                      "completed cells are recorded here and skipped on "
                      "restart; SIGINT/SIGTERM stop cleanly with exit "
                      "code 75");
+    parser.addU64("sample", &sample,
+                  "statistical sampling: each cell measures N detailed "
+                  "windows after fast-forward warming instead of a full "
+                  "run, and the CSV/JSON rows gain 95% CI columns "
+                  "(docs/SAMPLING.md); forces --seeds 1");
+    parser.addU64("window-ops", &window_ops,
+                  "detailed ops per CPU in each sampled window");
+    parser.addString("warm-mode", &warm_mode,
+                     "state warming between windows: functional (fast) "
+                     "or detailed (reference)");
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -132,6 +145,22 @@ main(int argc, char **argv)
     spec.opts.opsPerCpu = ops;
     spec.opts.warmupOps = warmup ? warmup : ops / 5;
     spec.baseConfig = makeDefaultConfig();
+    if (sample) {
+        WarmMode wmode = WarmMode::Functional;
+        if (!parseWarmMode(warm_mode, &wmode)) {
+            std::fprintf(stderr, "cgct_sweep: --warm-mode must be "
+                                 "functional or detailed\n");
+            return 1;
+        }
+        // A sampled sweep draws its confidence interval from the
+        // windows within one run, not from seed repetition: one cell
+        // per (benchmark, region), first link of the usual seed chain.
+        spec.seedsPerCell = 1;
+        spec.sampled = true;
+        spec.sampling.windows = sample;
+        spec.sampling.windowOps = window_ops;
+        spec.sampling.warmMode = wmode;
+    }
 
     const bool show_progress =
         !no_progress && (progress || isatty(STDERR_FILENO));
@@ -195,12 +224,13 @@ main(int argc, char **argv)
 
     SweepOutcome outcome;
     if (format == "csv") {
-        writeSweepCsvHeader(std::cout);
+        const bool sampled = spec.sampled;
+        writeSweepCsvHeader(std::cout, sampled);
         // Stream each row as soon as every earlier row is out.
         outcome = runner.runResumable(
             hooks,
-            [](const SweepCell &, const RunResult &r) {
-                writeSweepCsvRow(std::cout, r);
+            [sampled](const SweepCell &, const RunResult &r) {
+                writeSweepCsvRow(std::cout, r, sampled);
                 std::cout.flush();
             },
             on_progress);

@@ -21,6 +21,10 @@
 #      every cgct_trace CLI flag and subcommand, and the format
 #      invariants, and be cross-linked from README.md, docs/SWEEP.md,
 #      and docs/ARCHITECTURE.md.
+#   8. docs/SAMPLING.md must cover the sampling flags, both warming
+#      modes, the CI math and its stat names, the validation/bench
+#      gates, and the "when not to trust" caveats, and be cross-linked
+#      from README.md, docs/SWEEP.md, and docs/ARCHITECTURE.md.
 #
 # Run from anywhere:
 #
@@ -224,11 +228,44 @@ else
     done
 fi
 
+# Sampling methodology documentation: docs/SAMPLING.md is the
+# measurement handbook for sampled runs. It must cover the flags, both
+# warming modes, the CI statistics surfaced in JSON/CSV, the math they
+# come from, the validation and bench gates, and the caveats that bound
+# when a sampled number can be trusted.
+sampling_doc="$root/docs/SAMPLING.md"
+if [ ! -f "$sampling_doc" ]; then
+    echo "check_docs: $sampling_doc is missing" >&2
+    fail=1
+else
+    for token in --sample --window-ops --warm-mode functional detailed \
+                 SMARTS Student-t tCritical95 ci95_half stddev \
+                 window_cycles avoided_fraction l2_miss_ratio \
+                 avg_miss_latency avg_broadcasts_per_100k warm_mode \
+                 span_ops sampled_ops CGCTSNAP Cold-start \
+                 peak_bcast_per_100k test_sampling test_confidence \
+                 bench_sampling BENCH_sampling.json \
+                 CGCT_BENCH_SAMPLING_MIN_FRAC; do
+        if ! grep -q -- "$token" "$sampling_doc"; then
+            echo "check_docs: docs/SAMPLING.md does not mention $token" \
+                 >&2
+            fail=1
+        fi
+    done
+    for ref in README.md docs/SWEEP.md docs/ARCHITECTURE.md; do
+        if ! grep -q "SAMPLING.md" "$root/$ref"; then
+            echo "check_docs: $ref does not link to docs/SAMPLING.md" >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md /" \
          "docs/TRACING.md / docs/ARCHITECTURE.md / docs/SNAPSHOT.md /" \
-         "docs/TRACE_FORMAT.md" >&2
+         "docs/TRACE_FORMAT.md / docs/SAMPLING.md" >&2
     exit 1
 fi
 echo "check_docs: flags, perf targets, trace event and record types," \
-     "stat names, and architecture cross-links are all documented"
+     "stat names, sampling methodology, and architecture cross-links" \
+     "are all documented"

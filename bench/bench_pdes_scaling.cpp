@@ -1,0 +1,242 @@
+/**
+ * @file
+ * bench_pdes_scaling — wall-clock scaling of the shard-parallel PDES
+ * mode (docs/PDES.md) against the sequential kernel, on a 16-processor
+ * (8-chip) system running an independent-draw workload, plus the
+ * allocation-free contract of the ThreadPool::postTask dispatch path.
+ *
+ * Emits one machine-readable JSON object on stdout (schema validated
+ * and gated against BENCH_pdes.json by tools/bench_smoke.sh):
+ *
+ *   bench_pdes_scaling [--ops N] [--cpus C]
+ *
+ * Phases measured:
+ *   shards=1   the exact sequential path (PDES never constructed).
+ *   shards=2,4 bounded-lag quantum execution on 2 / 4 shard queues.
+ *
+ * The statistics digest of every run is compared and the bench exits
+ * non-zero on any mismatch: byte-identity is asserted unconditionally,
+ * on every host. The speedups are honest wall-clock numbers for THIS
+ * host — tools/bench_smoke.sh gates them against the recorded baseline
+ * only when the host has enough cores for parallelism to exist
+ * (host_cpus is recorded alongside for that decision).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "sim/system.hpp"
+#include "snapshot/journal.hpp"
+#include "snapshot/serializer.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace cgct;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** FNV-1a over the canonical journal encoding of a result. */
+std::uint64_t
+digestOf(const RunResult &r)
+{
+    Serializer s;
+    encodeRunResult(s, r);
+    std::uint64_t h = 1469598103934665603ULL;
+    const std::uint8_t *p = s.buffer().data();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Steady-state allocation count of the postTask dispatch path. */
+std::uint64_t
+postTaskAllocs()
+{
+    constexpr int kBurst = 16384;
+    ThreadPool pool(3);
+    std::atomic<std::uint64_t> ran{0};
+    // Warm the per-queue rings to the high-water mark of the measured
+    // burst (the ring doubles only until it covers the peak backlog).
+    for (int i = 0; i < kBurst; ++i)
+        pool.postTask(ThreadPool::Task([&ran] { ++ran; }));
+    pool.wait();
+    const std::uint64_t before = g_allocs.load();
+    for (int i = 0; i < kBurst; ++i)
+        pool.postTask(ThreadPool::Task([&ran] { ++ran; }));
+    pool.wait();
+    const std::uint64_t allocs = g_allocs.load() - before;
+    if (ran.load() != 2 * kBurst) {
+        std::fprintf(stderr, "bench_pdes_scaling: lost tasks (%llu)\n",
+                     static_cast<unsigned long long>(ran.load()));
+        std::exit(1);
+    }
+    return allocs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 75000;
+    std::uint64_t cpus = 16;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
+            cpus = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_pdes_scaling [--ops N] [--cpus C]\n");
+            return 2;
+        }
+    }
+    if (ops < 10000)
+        ops = 10000;
+    if (cpus < 4)
+        cpus = 4;
+
+    // Independent-draw workload: specint2000rate without the migratory
+    // ownership writes, so the PDES gate engages (docs/PDES.md).
+    WorkloadProfile profile = benchmarkByName("specint2000rate");
+    profile.name = "specint-nomigrate";
+    for (PhaseSpec &ph : profile.phases)
+        ph.pMigrate = 0.0;
+
+    SystemConfig config = makeDefaultConfig();
+    config.topology.numCpus = static_cast<unsigned>(cpus);
+    config.topology.cpusPerChip = 2;
+    config.validate();
+
+    RunOptions opts;
+    opts.opsPerCpu = ops;
+    opts.warmupOps = ops / 5;
+    opts.seed = 20050609;
+
+    // Refuse to publish numbers for a configuration where the gate
+    // silently falls back to sequential.
+    {
+        SyntheticWorkload probe(profile, config.topology.numCpus, 1000, 1);
+        System sys(config, probe, 4);
+        if (sys.shards() != 4) {
+            std::fprintf(stderr,
+                         "bench_pdes_scaling: PDES did not engage "
+                         "(shards=%u)\n",
+                         sys.shards());
+            return 1;
+        }
+    }
+
+    const unsigned kShardCounts[] = {1, 2, 4};
+    double seconds[3] = {};
+    std::uint64_t digests[3] = {};
+    for (int i = 0; i < 3; ++i) {
+        opts.shards = kShardCounts[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunResult r = simulateOnce(config, profile, opts);
+        seconds[i] = secondsSince(t0);
+        digests[i] = digestOf(r);
+    }
+
+    const bool identical =
+        digests[0] == digests[1] && digests[0] == digests[2];
+    if (!identical) {
+        std::fprintf(stderr,
+                     "bench_pdes_scaling: DIGEST MISMATCH — shards=1 "
+                     "%016llx, shards=2 %016llx, shards=4 %016llx\n",
+                     static_cast<unsigned long long>(digests[0]),
+                     static_cast<unsigned long long>(digests[1]),
+                     static_cast<unsigned long long>(digests[2]));
+        return 1;
+    }
+
+    const std::uint64_t task_allocs = postTaskAllocs();
+
+    std::printf(
+        "{\n"
+        "  \"schema\": \"cgct-bench-pdes-v1\",\n"
+        "  \"host_cpus\": %u,\n"
+        "  \"cpus\": %llu,\n"
+        "  \"ops_per_cpu\": %llu,\n"
+        "  \"ops_total\": %llu,\n"
+        "  \"seconds_shards_1\": %.3f,\n"
+        "  \"seconds_shards_2\": %.3f,\n"
+        "  \"seconds_shards_4\": %.3f,\n"
+        "  \"speedup_shards_2\": %.2f,\n"
+        "  \"speedup_shards_4\": %.2f,\n"
+        "  \"stats_digest\": \"%016llx\",\n"
+        "  \"digests_identical\": true,\n"
+        "  \"post_task_steady_allocs\": %llu\n"
+        "}\n",
+        std::thread::hardware_concurrency(),
+        static_cast<unsigned long long>(cpus),
+        static_cast<unsigned long long>(ops),
+        static_cast<unsigned long long>(cpus * ops), seconds[0],
+        seconds[1], seconds[2], seconds[0] / seconds[1],
+        seconds[0] / seconds[2],
+        static_cast<unsigned long long>(digests[0]),
+        static_cast<unsigned long long>(task_allocs));
+    return task_allocs == 0 ? 0 : 1;
+}

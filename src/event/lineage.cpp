@@ -1,0 +1,61 @@
+#include "event/lineage.hpp"
+
+#include "common/log.hpp"
+
+namespace cgct {
+
+std::atomic<std::uint64_t> LineageNode::liveCount{0};
+
+void
+lineageUnref(LineageNode *n)
+{
+    // Iterative: freeing a node drops its parent reference, which may
+    // cascade up an unstamped chain. Chains are bounded by one quantum
+    // (stamped nodes have no parent), so this also bounds the walk.
+    while (n && n->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        LineageNode *parent = n->parent;
+        delete n;
+        LineageNode::liveCount.fetch_sub(1, std::memory_order_relaxed);
+        n = parent;
+    }
+}
+
+bool
+lineageLess(const LineageNode *a, const LineageNode *b)
+{
+    if (a == b)
+        return false;
+    // Stamps are assigned in the global execution order, which for
+    // executed events equals the (tick, priority, seq) order.
+    if (a->stamp != LineageNode::kUnstamped &&
+        b->stamp != LineageNode::kUnstamped)
+        return a->stamp < b->stamp;
+    if (a->tick != b->tick)
+        return a->tick < b->tick;
+    if (a->prio != b->prio)
+        return a->prio < b->prio;
+    if (a->stamp != LineageNode::kUnstamped ||
+        b->stamp != LineageNode::kUnstamped)
+        panic("lineage: same-key events stamped in different barriers "
+              "(tick=%llu prio=%d)",
+              static_cast<unsigned long long>(a->tick), a->prio);
+    // Same key, both pending resolution: the sequential tie-break is the
+    // insertion sequence, i.e. the order of the two schedule() calls.
+    // Calls from the same scheduling context are ordered by their rank;
+    // calls from different contexts are ordered by the contexts' own
+    // execution order, recursively. Schedules made outside any event
+    // (parent == null: construction, phase resume, both single-threaded)
+    // precede every event-driven schedule at the same key, because they
+    // all happen before the quantum that executes the key's tick.
+    const LineageNode *pa = a->parent;
+    const LineageNode *pb = b->parent;
+    if (pa == pb)
+        return a->seq < b->seq;
+    if (!pa)
+        return true;
+    if (!pb)
+        return false;
+    return lineageLess(pa, pb);
+}
+
+} // namespace cgct

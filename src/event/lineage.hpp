@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Event lineage — the PDES determinism ledger (docs/PDES.md).
+ *
+ * Sequential runs execute events in (tick, priority, insertion-seq)
+ * order. A sharded run executes the same events on several queues, so
+ * the global insertion sequence no longer exists at schedule time: two
+ * shards can schedule bus requests at the same (tick, priority) and the
+ * winner of the sequential tie-break depends on which *scheduling*
+ * event ran first — recursively, back to the start of the run.
+ *
+ * LineageNode materializes exactly that recursion. Every scheduled
+ * event (when tracking is enabled) gets a node recording its own
+ * (tick, prio), its parent — the event whose callback scheduled it, or
+ * null for schedules made outside any event (construction, resume) —
+ * and its rank among the parent's schedule calls. lineageLess() then
+ * reconstructs the sequential (tick, priority, seq) order of any two
+ * events: compare keys; on a tie compare the parents, recursively.
+ *
+ * Unbounded recursion would retain every chain back to tick 0, so the
+ * PDES coordinator *stamps* nodes at each quantum barrier: it merges
+ * the per-queue execution logs into the true global execution order,
+ * assigns each node a monotonically increasing stamp, and severs its
+ * parent link. Two stamped nodes compare by stamp in O(1); chains
+ * therefore never outlive one quantum. Two same-key nodes are always
+ * stamped in the same barrier (a tick's shard events all execute in
+ * the quantum that owns the tick, and a tick's hub events all drain in
+ * one barrier), so a stamped/unstamped same-key comparison is a
+ * contract violation and panics.
+ *
+ * Nodes are reference counted: the owning queue holds one reference
+ * from schedule() until the event executes (then the execution log
+ * holds it until the barrier stamps it), each child holds its parent,
+ * and cross-shard broadcast records hold the enqueueing event's node
+ * until replay. Refcounts are atomic only for TSan cleanliness — all
+ * accesses are barrier-separated by design.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cgct {
+
+struct LineageNode {
+    static constexpr std::uint64_t kUnstamped = ~0ULL;
+
+    Tick tick = 0;              ///< Scheduled event's tick.
+    int prio = 0;               ///< Scheduled event's priority class.
+    std::uint64_t seq = 0;      ///< Rank among the parent's schedule calls.
+    std::uint64_t stamp = kUnstamped; ///< Global execution order, once known.
+    std::uint64_t children = 0; ///< Next child rank (only while executing).
+    LineageNode *parent = nullptr; ///< Ref-held; severed when stamped.
+    std::atomic<std::uint32_t> refs{1};
+
+    /** Live-node count, for leak checks in tests. */
+    static std::atomic<std::uint64_t> liveCount;
+};
+
+/** Shared per-simulation lineage state (one per System). */
+struct LineageCtx {
+    std::uint64_t rootSeq = 0;   ///< Order of schedules made outside events.
+    std::uint64_t nextStamp = 0; ///< Next global execution stamp.
+};
+
+inline LineageNode *
+lineageRef(LineageNode *n)
+{
+    if (n)
+        n->refs.fetch_add(1, std::memory_order_relaxed);
+    return n;
+}
+
+/** Drop one reference; frees the node and walks up the chain. */
+void lineageUnref(LineageNode *n);
+
+/**
+ * True if event @p a precedes event @p b in the sequential
+ * (tick, priority, seq) execution order. Both pointers must be
+ * non-null and distinct events' nodes (a == b returns false).
+ */
+bool lineageLess(const LineageNode *a, const LineageNode *b);
+
+} // namespace cgct

@@ -108,6 +108,39 @@ class Bus
      */
     void broadcast(const SystemRequest &req, ResponseFn fn);
 
+    /**
+     * PDES logical-grant mode (docs/PDES.md). Sharded runs replay bus
+     * enqueues at the quantum barrier, where the hub clock lags the
+     * request's logical enqueue tick — so the enqueue time is passed
+     * explicitly and the FCFS grant is computed inline instead of via a
+     * grant event: g_i = max(enq_i, g_{i-1} + busSlot), byte-identical
+     * to the sequential grant-event recurrence as long as requests
+     * arrive in the sequential enqueue order (which the barrier merge
+     * guarantees). The skipped grant events are tallied so quiesce can
+     * reconcile the executed-event count with a sequential run.
+     */
+    void setLogicalGrants(bool on) { logicalGrants_ = on; }
+    void broadcastAt(const SystemRequest &req, ResponseFn fn, Tick enq);
+    std::uint64_t takeSyntheticGrants()
+    {
+        const std::uint64_t n = syntheticGrants_;
+        syntheticGrants_ = 0;
+        return n;
+    }
+
+    /**
+     * Apply the deferred per-grant accounting of every logical grant
+     * with grant tick <= @p up_to. A sequential run counts a broadcast
+     * (stats_.broadcasts, queue cycles, the traffic window) at its
+     * *grant event*, which can fire well after the enqueue when the bus
+     * is backlogged — so a stats reset between enqueue and grant must
+     * see the grant as not-yet-counted. Logical mode reproduces that by
+     * queuing the accounting at replay time and settling it here:
+     * resetStats() settles up to the reset tick first, and the PDES
+     * quiesce settles everything at the final clock.
+     */
+    void settleGrants(Tick up_to);
+
     struct Stats {
         std::uint64_t broadcasts = 0;
         std::uint64_t queueCycles = 0;      ///< Arbitration wait.
@@ -125,6 +158,7 @@ class Bus
     void
     resetStats(Tick now)
     {
+        settleGrants(now);
         stats_ = Stats{};
         traffic_.reset(now);
     }
@@ -160,7 +194,16 @@ class Bus
 
     std::deque<Pending> queue_;
     bool grantScheduled_ = false;
+    bool logicalGrants_ = false;
     Tick nextFreeSlot_ = 0;
+    std::uint64_t syntheticGrants_ = 0;
+
+    /** Deferred logical-grant accounting: (grant tick, queue wait). */
+    struct GrantCharge {
+        Tick grant;
+        Tick queued;
+    };
+    std::deque<GrantCharge> grantCharges_;
 
     Stats stats_;
     IntervalTracker traffic_{100000};

@@ -51,7 +51,8 @@ const char *warmModeName(WarmMode mode);
 
 /** Knobs for one sampled simulation. */
 struct SamplingOptions {
-    /** Measurement windows (the paper-methodology K). 0 = sampling off. */
+    /** Measurement windows (the paper-methodology K). 0 = sampling off.
+     *  With a CI target this is the *starting* window count. */
     std::uint64_t windows = 8;
     /** Detailed ops per CPU measured in each window. */
     std::uint64_t windowOps = 1000;
@@ -59,6 +60,16 @@ struct SamplingOptions {
     /** Worker threads for the windows (0 = hardware concurrency).
      *  Results are identical at any value. */
     unsigned jobs = 0;
+    /**
+     * Adaptive precision (docs/SAMPLING.md): when > 0, double the
+     * window count until the relative 95% CI half-width of every
+     * headline metric (cycles, avg miss latency, L2 miss ratio,
+     * avoided fraction, broadcasts/100k) is <= this value — e.g. 0.05
+     * for +/-5% — capped by maxWindows and the window geometry.
+     */
+    double ciTarget = 0.0;
+    /** Hard cap on the adaptive window count (the K cap). */
+    std::uint64_t maxWindows = 64;
 };
 
 /**

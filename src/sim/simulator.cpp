@@ -53,7 +53,7 @@ simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
             opts.opsPerCpu);
         source = capture.get();
     }
-    System sys(config, *source);
+    System sys(config, *source, opts.shards);
 
     Tick measure_start = 0;
     sys.start();
@@ -62,7 +62,7 @@ simulateOnce(const SystemConfig &config, const WorkloadProfile &profile,
             sys, [&workload] { return workload.minOpsDrawn(); },
             opts.warmupOps, &measure_start);
 
-    const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+    const std::uint64_t executed = sys.run(opts.maxEvents);
     if (executed >= opts.maxEvents)
         fatal("simulateOnce: event cap hit (%llu) — runaway simulation?",
               static_cast<unsigned long long>(opts.maxEvents));
@@ -86,7 +86,7 @@ simulateReplay(const SystemConfig &config, const std::string &trace_path,
                   reader.numCpus(), config.topology.numCpus);
         System sys(config, reader);
         sys.start();
-        const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+        const std::uint64_t executed = sys.run(opts.maxEvents);
         if (executed >= opts.maxEvents)
             fatal("simulateReplay: event cap hit (%llu) — runaway "
                   "simulation?",
@@ -114,7 +114,7 @@ simulateReplay(const SystemConfig &config, const std::string &trace_path,
             sys, [&replay] { return replay.minOpsConsumed(); },
             opts.warmupOps, &measure_start);
 
-    const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+    const std::uint64_t executed = sys.run(opts.maxEvents);
     if (executed >= opts.maxEvents)
         fatal("simulateReplay: event cap hit (%llu) — runaway "
               "simulation?",

@@ -5,11 +5,26 @@
 #include <unordered_map>
 
 #include "common/log.hpp"
+#include "event/pdes.hpp"
 #include "snapshot/serializer.hpp"
 
 namespace cgct {
 
-System::System(const SystemConfig &config, OpSource &source)
+unsigned
+System::shardOfCpu(CpuId cpu) const
+{
+    // Whole chips map to shards (a chip may share one region tracker,
+    // and its cores share the chip's locality) with the chip range
+    // split as evenly as possible.
+    const unsigned n_chips = config_.topology.numChips();
+    const unsigned n_shards =
+        static_cast<unsigned>(shardQs_.size());
+    const unsigned chip = config_.topology.chipOfCpu(cpu);
+    return chip * n_shards / n_chips;
+}
+
+System::System(const SystemConfig &config, OpSource &source,
+               unsigned shards)
     : config_(config), map_(config.topology)
 {
     config_.validate();
@@ -17,6 +32,24 @@ System::System(const SystemConfig &config, OpSource &source)
     // Sources that schedule their own wakeups (trace replay sync
     // events) need the event queue before any core binds its waiter.
     source.attach(eq_);
+
+    // Sharded-run gating (docs/PDES.md): decide up front, because the
+    // nodes and cores must be constructed against their shard queues.
+    bool check = config_.obs.checkInvariants;
+#ifndef NDEBUG
+    check = check || config_.cgct.enabled;
+#endif
+    const unsigned n_chips = config_.topology.numChips();
+    unsigned eff_shards = shards < n_chips ? shards : n_chips;
+    const bool pdes_ok = eff_shards > 1 && !config_.cgct.enabled &&
+                         !config_.obs.trace && !check &&
+                         config_.interconnect.snoopLatency >= 1 &&
+                         source.drawsIndependent();
+    if (pdes_ok) {
+        shardQs_.reserve(eff_shards);
+        for (unsigned i = 0; i < eff_shards; ++i)
+            shardQs_.push_back(std::make_unique<EventQueue>());
+    }
 
     const unsigned n_ctrl = config_.topology.numMemCtrls();
     std::vector<MemoryController *> ctrl_ptrs;
@@ -50,9 +83,15 @@ System::System(const SystemConfig &config, OpSource &source)
             tracker = makeTracker(static_cast<CpuId>(i), config_.cgct,
                                   config_.l2.lineBytes);
         }
+        // A sharded node lives on its shard's queue; the bus, memory
+        // controllers and data network stay on the hub queue.
+        EventQueue &node_eq =
+            shardQs_.empty()
+                ? eq_
+                : *shardQs_[shardOfCpu(static_cast<CpuId>(i))];
         nodes_.push_back(std::make_unique<Node>(
-            static_cast<CpuId>(i), config_, eq_, *bus_, *dataNet_, map_,
-            ctrl_ptrs, std::move(tracker)));
+            static_cast<CpuId>(i), config_, node_eq, *bus_, *dataNet_,
+            map_, ctrl_ptrs, std::move(tracker)));
         bus_->addClient(nodes_.back().get());
         node_ptrs.push_back(nodes_.back().get());
     }
@@ -62,8 +101,13 @@ System::System(const SystemConfig &config, OpSource &source)
         [this](const SystemRequest &req) { oracle_->observe(req); });
 
     for (unsigned i = 0; i < config_.topology.numCpus; ++i) {
+        EventQueue &core_eq =
+            shardQs_.empty()
+                ? eq_
+                : *shardQs_[shardOfCpu(static_cast<CpuId>(i))];
         cores_.push_back(std::make_unique<CoreModel>(
-            static_cast<CpuId>(i), config_.core, eq_, *nodes_[i], source));
+            static_cast<CpuId>(i), config_.core, core_eq, *nodes_[i],
+            source));
     }
 
     if (config_.dma.enabled) {
@@ -82,10 +126,6 @@ System::System(const SystemConfig &config, OpSource &source)
     for (auto &node : nodes_)
         node->setTraceSink(&trace_);
 
-    bool check = config_.obs.checkInvariants;
-#ifndef NDEBUG
-    check = check || config_.cgct.enabled;
-#endif
     if (check) {
         std::vector<const Node *> const_nodes(node_ptrs.begin(),
                                               node_ptrs.end());
@@ -98,6 +138,34 @@ System::System(const SystemConfig &config, OpSource &source)
         for (auto &node : nodes_)
             node->setInvariantChecker(checker_.get());
     }
+
+    if (!shardQs_.empty()) {
+        std::vector<EventQueue *> qs;
+        qs.reserve(shardQs_.size());
+        for (auto &q : shardQs_)
+            qs.push_back(q.get());
+        pdes_ = std::make_unique<PdesCoordinator>(
+            eq_, std::move(qs), *bus_, config_.interconnect.snoopLatency);
+        for (unsigned i = 0; i < config_.topology.numCpus; ++i)
+            nodes_[i]->setPdes(pdes_.get(),
+                               shardOfCpu(static_cast<CpuId>(i)));
+    }
+}
+
+System::~System() = default;
+
+std::uint64_t
+System::run(std::uint64_t max_events)
+{
+    if (pdes_)
+        return pdes_->run(max_events);
+    return eq_.run(max_events);
+}
+
+unsigned
+System::shards() const
+{
+    return pdes_ ? pdes_->shards() : 1;
 }
 
 void
@@ -156,7 +224,15 @@ System::serializeState(Serializer &s) const
 {
     if (!allCoresFinished())
         panic("System: serializing before every core drained");
+    for (const auto &q : shardQs_) {
+        if (!q->empty())
+            panic("System: serializing with shard events pending");
+    }
 
+    // Sharded runs quiesce into the sequential representation (clocks
+    // aligned, executed counts folded into the hub — see
+    // PdesCoordinator::run), so the sections below are byte-identical
+    // at any shard count and snapshots are interchangeable.
     s.beginSection("eq");
     eq_.serialize(s);
     s.endSection();
@@ -212,6 +288,11 @@ System::restoreState(const Deserializer &d)
     {
         SectionReader r = d.section("eq");
         eq_.deserialize(r);
+    }
+    if (pdes_) {
+        // Shard clocks are not serialized (they are always aligned with
+        // the hub at quiescence); re-align them with the restored hub.
+        pdes_->restoreClocks(eq_.now());
     }
     {
         SectionReader r = d.section("bus");

@@ -170,7 +170,7 @@ simulateCheckpointed(const SystemConfig &config,
 {
     SyntheticWorkload workload(profile, config.topology.numCpus,
                                opts.opsPerCpu, opts.seed);
-    System sys(config, workload);
+    System sys(config, workload, opts.shards);
 
     HarnessState h;
     h.profileName = profile.name;
@@ -263,7 +263,7 @@ simulateCheckpointed(const SystemConfig &config,
                 sys, [&workload] { return workload.minOpsDrawn(); },
                 h.warmupOps, &measure_start, &warmup_done);
 
-        const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+        const std::uint64_t executed = sys.run(opts.maxEvents);
         if (executed >= opts.maxEvents)
             fatal("simulateCheckpointed: event cap hit (%llu) — runaway "
                   "simulation?",
@@ -432,7 +432,7 @@ simulateCheckpointedReplay(const SystemConfig &config,
                 sys, [&replay] { return replay.minOpsConsumed(); },
                 h.warmupOps, &measure_start, &warmup_done);
 
-        const std::uint64_t executed = sys.eq().run(opts.maxEvents);
+        const std::uint64_t executed = sys.run(opts.maxEvents);
         if (executed >= opts.maxEvents)
             fatal("simulateCheckpointedReplay: event cap hit (%llu) — "
                   "runaway simulation?",

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the conservative PDES coordinator (docs/PDES.md): the
+ * quantum stop-tick rule, lineage ordering and lifetime, the
+ * allocation-free ThreadPool task path, engagement gating, and —
+ * the core contract — byte-identical results at any shard count,
+ * including through a mid-run checkpoint/restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "event/event_queue.hpp"
+#include "event/lineage.hpp"
+#include "event/pdes.hpp"
+#include "sim/system.hpp"
+#include "snapshot/journal.hpp"
+#include "snapshot/serializer.hpp"
+#include "snapshot/snapshot.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/generator.hpp"
+
+namespace cgct {
+namespace {
+
+constexpr int kSnoop = static_cast<int>(EventPriority::Snoop);
+constexpr int kData = static_cast<int>(EventPriority::Data);
+constexpr int kCpu = static_cast<int>(EventPriority::Cpu);
+constexpr int kDefault = static_cast<int>(EventPriority::Default);
+
+/**
+ * A profile whose draws are a pure function of (cpu, op index): no
+ * phase can write the migratory ownership table, so every gating
+ * condition except topology is satisfied (see
+ * SyntheticWorkload::drawsIndependent).
+ */
+WorkloadProfile
+independentProfile()
+{
+    WorkloadProfile p = benchmarkByName("specint2000rate");
+    p.name = "specint-nomigrate";
+    for (PhaseSpec &ph : p.phases)
+        ph.pMigrate = 0.0;
+    return p;
+}
+
+SystemConfig
+bigTopology()
+{
+    SystemConfig config = makeDefaultConfig();
+    config.topology.numCpus = 16;
+    config.topology.cpusPerChip = 2; // 8 chips.
+    config.validate();
+    return config;
+}
+
+RunOptions
+smallRun(unsigned shards)
+{
+    RunOptions opts;
+    opts.opsPerCpu = 12000;
+    opts.warmupOps = 2400;
+    opts.seed = 7;
+    opts.shards = shards;
+    return opts;
+}
+
+/** Canonical byte encoding of a result (the journal's), for equality. */
+std::vector<std::uint8_t>
+encoded(const RunResult &r)
+{
+    Serializer s;
+    encodeRunResult(s, r);
+    return {s.buffer().data(), s.buffer().data() + s.size()};
+}
+
+// ---------------------------------------------------------------- stop tick
+
+TEST(PdesStopTick, ShardOnlyAdvancesByLookahead)
+{
+    EXPECT_EQ(pdesStopTick(false, 0, 0, true, 100, 160), 260u);
+    EXPECT_EQ(pdesStopTick(false, 0, 0, true, 0, 1), 1u);
+}
+
+TEST(PdesStopTick, SnoopClassHubEventCapsAtItsTick)
+{
+    // A resolve at t feeds shard state *at* t: shards stop before t.
+    EXPECT_EQ(pdesStopTick(true, 150, kSnoop, true, 100, 160), 150u);
+    // Hub event beyond the lag bound does not extend it.
+    EXPECT_EQ(pdesStopTick(true, 500, kSnoop, true, 100, 160), 260u);
+}
+
+TEST(PdesStopTick, DefaultClassHubEventRunsAfterTheTick)
+{
+    // DMA/warmup events sort after every shard event at t, so the
+    // shards may finish tick t first (stop is exclusive).
+    EXPECT_EQ(pdesStopTick(true, 150, kDefault, true, 100, 160), 151u);
+}
+
+TEST(PdesStopTick, HubOnly)
+{
+    EXPECT_EQ(pdesStopTick(true, 42, kSnoop, false, 0, 160), 42u);
+    EXPECT_EQ(pdesStopTick(true, 42, kDefault, false, 0, 160), 43u);
+}
+
+TEST(PdesStopTickDeathTest, PanicsWithNoEvents)
+{
+    EXPECT_DEATH(pdesStopTick(false, 0, 0, false, 0, 160),
+                 "no pending events");
+}
+
+// ------------------------------------------------------------------ lineage
+
+TEST(Lineage, KeyOrderDecidesAcrossTicksAndPriorities)
+{
+    LineageNode a, b;
+    a.tick = 10;
+    b.tick = 20;
+    EXPECT_TRUE(lineageLess(&a, &b));
+    EXPECT_FALSE(lineageLess(&b, &a));
+
+    b.tick = 10;
+    a.prio = kSnoop;
+    b.prio = kCpu;
+    EXPECT_TRUE(lineageLess(&a, &b));
+    EXPECT_FALSE(lineageLess(&b, &a));
+    EXPECT_FALSE(lineageLess(&a, &a));
+}
+
+TEST(Lineage, SameParentOrdersBySeq)
+{
+    LineageNode parent, a, b;
+    a.parent = &parent;
+    b.parent = &parent;
+    a.seq = 0;
+    b.seq = 1;
+    EXPECT_TRUE(lineageLess(&a, &b));
+    EXPECT_FALSE(lineageLess(&b, &a));
+}
+
+TEST(Lineage, RootSchedulesPrecedeEventDrivenOnes)
+{
+    LineageNode parent, root, child;
+    child.parent = &parent;
+    EXPECT_TRUE(lineageLess(&root, &child));
+    EXPECT_FALSE(lineageLess(&child, &root));
+}
+
+TEST(Lineage, TieRecursesToParentOrder)
+{
+    // Two same-key events from different parents: the parents' own
+    // execution order (here: tick) decides.
+    LineageNode pa, pb, a, b;
+    pa.tick = 5;
+    pb.tick = 9;
+    a.parent = &pa;
+    b.parent = &pb;
+    a.seq = 7; // Ranks are irrelevant across different parents.
+    b.seq = 0;
+    EXPECT_TRUE(lineageLess(&a, &b));
+    EXPECT_FALSE(lineageLess(&b, &a));
+}
+
+TEST(Lineage, StampedPairComparesByStampOnly)
+{
+    LineageNode a, b;
+    a.tick = 50; // Later key, earlier stamp: stamp wins.
+    b.tick = 10;
+    a.stamp = 1;
+    b.stamp = 2;
+    EXPECT_TRUE(lineageLess(&a, &b));
+    EXPECT_FALSE(lineageLess(&b, &a));
+}
+
+TEST(LineageDeathTest, MixedStampingAtSameKeyPanics)
+{
+    LineageNode a, b;
+    a.stamp = 3; // Same (tick, prio), one stamped: contract violation.
+    EXPECT_DEATH(lineageLess(&a, &b), "stamped in different barriers");
+}
+
+TEST(Lineage, QueueTracksSchedulerParentage)
+{
+    // With a context attached, runOne() exposes the executing event's
+    // node and schedules made inside it become its children.
+    LineageCtx ctx;
+    EventQueue eq;
+    eq.setLineage(&ctx);
+    const std::uint64_t live0 = LineageNode::liveCount.load();
+
+    LineageNode *inner = nullptr;
+    eq.schedule(5, [&eq, &inner] {
+        eq.schedule(9, [] {}, EventPriority::Cpu);
+        inner = EventQueue::currentLineage();
+    });
+    eq.run();
+
+    ASSERT_EQ(eq.execLog().size(), 2u);
+    LineageNode *first = eq.execLog()[0];
+    LineageNode *second = eq.execLog()[1];
+    EXPECT_EQ(first, inner);
+    EXPECT_EQ(first->tick, 5u);
+    EXPECT_EQ(second->tick, 9u);
+    EXPECT_EQ(second->parent, first);
+    EXPECT_TRUE(lineageLess(first, second));
+
+    // Release the log references the way the barrier would.
+    for (LineageNode *n : eq.execLog()) {
+        lineageUnref(n->parent);
+        n->parent = nullptr;
+        lineageUnref(n);
+    }
+    eq.execLog().clear();
+    EXPECT_EQ(LineageNode::liveCount.load(), live0);
+}
+
+// --------------------------------------------------------------- threadpool
+
+TEST(PdesThreadPool, PostTaskRunsAndWaits)
+{
+    ThreadPool pool(3);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.postTask(ThreadPool::Task([&sum, i] { sum += i; }));
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(PdesThreadPool, PostTaskInterleavesWithPost)
+{
+    ThreadPool pool(2);
+    std::atomic<int> n{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.postTask(ThreadPool::Task([&n] { ++n; }));
+        pool.post([&n] { ++n; });
+    }
+    pool.wait();
+    EXPECT_EQ(n.load(), 100);
+
+    // The pool is reusable after a wait().
+    pool.postTask(ThreadPool::Task([&n] { ++n; }));
+    pool.wait();
+    EXPECT_EQ(n.load(), 101);
+}
+
+// ------------------------------------------------------------------- gating
+
+TEST(PdesGating, EngagesOnIndependentMultiChipConfig)
+{
+    const SystemConfig config = bigTopology();
+    const WorkloadProfile profile = independentProfile();
+    SyntheticWorkload w(profile, config.topology.numCpus, 1000, 1);
+    EXPECT_TRUE(w.drawsIndependent());
+    System sys(config, w, 4);
+    EXPECT_EQ(sys.shards(), 4u);
+}
+
+TEST(PdesGating, ShardCountClampsToChips)
+{
+    const SystemConfig config = bigTopology(); // 8 chips.
+    const WorkloadProfile profile = independentProfile();
+    SyntheticWorkload w(profile, config.topology.numCpus, 1000, 1);
+    System sys(config, w, 64);
+    EXPECT_EQ(sys.shards(), 8u);
+}
+
+TEST(PdesGating, FallsBackOnMigratoryWorkload)
+{
+    const SystemConfig config = bigTopology();
+    const WorkloadProfile &profile = benchmarkByName("tpc-b");
+    SyntheticWorkload w(profile, config.topology.numCpus, 1000, 1);
+    EXPECT_FALSE(w.drawsIndependent());
+    System sys(config, w, 4);
+    EXPECT_EQ(sys.shards(), 1u);
+}
+
+TEST(PdesGating, FallsBackOnCgct)
+{
+    const SystemConfig config = bigTopology().withCgct(512);
+    const WorkloadProfile profile = independentProfile();
+    SyntheticWorkload w(profile, config.topology.numCpus, 1000, 1);
+    System sys(config, w, 4);
+    EXPECT_EQ(sys.shards(), 1u);
+}
+
+TEST(PdesGating, FallsBackOnSingleChip)
+{
+    SystemConfig config = makeDefaultConfig();
+    config.topology.numCpus = 4;
+    config.topology.cpusPerChip = 4; // 1 chip: nothing to shard.
+    config.validate();
+    const WorkloadProfile profile = independentProfile();
+    SyntheticWorkload w(profile, config.topology.numCpus, 1000, 1);
+    System sys(config, w, 4);
+    EXPECT_EQ(sys.shards(), 1u);
+}
+
+TEST(PdesGating, FallsBackUnderInvariantChecking)
+{
+    SystemConfig config = bigTopology();
+    config.obs.checkInvariants = true;
+    const WorkloadProfile profile = independentProfile();
+    SyntheticWorkload w(profile, config.topology.numCpus, 1000, 1);
+    System sys(config, w, 4);
+    EXPECT_EQ(sys.shards(), 1u);
+}
+
+// -------------------------------------------------------------- determinism
+
+TEST(PdesDeterminism, ByteIdenticalResultsAcrossShardCounts)
+{
+    const SystemConfig config = bigTopology();
+    const WorkloadProfile profile = independentProfile();
+    const RunResult r1 = simulateOnce(config, profile, smallRun(1));
+    const RunResult r2 = simulateOnce(config, profile, smallRun(2));
+    const RunResult r4 = simulateOnce(config, profile, smallRun(4));
+    const RunResult r8 = simulateOnce(config, profile, smallRun(8));
+    EXPECT_GT(r1.cycles, 0u);
+    EXPECT_EQ(encoded(r1), encoded(r2));
+    EXPECT_EQ(encoded(r1), encoded(r4));
+    EXPECT_EQ(encoded(r1), encoded(r8));
+}
+
+TEST(PdesDeterminism, DrainedStateIsByteIdentical)
+{
+    // Not just the statistics: the full serialized architectural state
+    // (caches, workload cursors, clocks, executed-event counts) of a
+    // drained sharded run must equal the sequential run's, so sharded
+    // and sequential snapshots are interchangeable.
+    const SystemConfig config = bigTopology();
+    const WorkloadProfile profile = independentProfile();
+    const auto stateAt = [&](unsigned shards) {
+        SyntheticWorkload w(profile, config.topology.numCpus, 4000, 7);
+        System sys(config, w, shards);
+        sys.start();
+        sys.run(UINT64_MAX);
+        Serializer s;
+        sys.serializeState(s);
+        return std::vector<std::uint8_t>{
+            s.buffer().data(), s.buffer().data() + s.size()};
+    };
+    const auto seq = stateAt(1);
+    EXPECT_EQ(seq, stateAt(2));
+    EXPECT_EQ(seq, stateAt(4));
+}
+
+TEST(PdesDeterminism, CheckpointedRunMatchesSequentialAtAnyShardCount)
+{
+    // Periodic drains are schedule-visible by design, so a paused run is
+    // compared against a paused run: the shard count must not matter.
+    const SystemConfig config = bigTopology();
+    const WorkloadProfile profile = independentProfile();
+
+    CheckpointOptions every;
+    every.everyOps = 4000; // Two pauses inside 12000 ops.
+
+    const RunResult seq =
+        simulateCheckpointed(config, profile, smallRun(1), every);
+    const RunResult sharded =
+        simulateCheckpointed(config, profile, smallRun(4), every);
+    EXPECT_EQ(encoded(seq), encoded(sharded));
+}
+
+TEST(PdesDeterminism, RestoreMidRunCrossesShardCounts)
+{
+    // Snapshots from sharded and sequential runs are interchangeable: a
+    // sharded run writes a mid-run checkpoint, a sequential run restores
+    // it (and vice versa), and both finish byte-identical to the
+    // uninterrupted paused run.
+    const SystemConfig config = bigTopology();
+    const WorkloadProfile profile = independentProfile();
+
+    const std::string prefix =
+        std::string(::testing::TempDir()) + "pdes_ckpt";
+    CheckpointOptions writing;
+    writing.everyOps = 4000;
+    writing.writePrefix = prefix;
+    const RunResult full =
+        simulateCheckpointed(config, profile, smallRun(4), writing);
+
+    CheckpointOptions restoring;
+    restoring.everyOps = 4000;
+    restoring.restorePath = prefix + ".8000";
+    const RunResult seq_resumed =
+        simulateCheckpointed(config, profile, smallRun(1), restoring);
+    const RunResult sharded_resumed =
+        simulateCheckpointed(config, profile, smallRun(2), restoring);
+    EXPECT_EQ(encoded(full), encoded(seq_resumed));
+    EXPECT_EQ(encoded(full), encoded(sharded_resumed));
+}
+
+TEST(PdesDeterminism, NoLineageNodesLeakAcrossARun)
+{
+    const SystemConfig config = bigTopology();
+    const WorkloadProfile profile = independentProfile();
+    const std::uint64_t live0 = LineageNode::liveCount.load();
+    {
+        SyntheticWorkload w(profile, config.topology.numCpus, 4000, 7);
+        System sys(config, w, 4);
+        ASSERT_EQ(sys.shards(), 4u);
+        sys.start();
+        sys.run(UINT64_MAX);
+    }
+    EXPECT_EQ(LineageNode::liveCount.load(), live0);
+}
+
+} // namespace
+} // namespace cgct

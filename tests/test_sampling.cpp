@@ -177,6 +177,66 @@ TEST(Sampling, WarmStateSatisfiesInvariants)
     EXPECT_GT(r.requestsTotal, 0u);
 }
 
+TEST(Sampling, AdaptiveGrowsWindowsToCap)
+{
+    // An unreachable precision target doubles K until the hard cap.
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    SamplingOptions sopts = smallSampling();
+    sopts.windows = 2;
+    sopts.ciTarget = 1e-9;
+    sopts.maxWindows = 8;
+    const RunResult r = simulateSampled(config, benchmarkByName("tpc-w"),
+                                        smallRun(), sopts);
+    ASSERT_NE(r.sampling, nullptr);
+    EXPECT_EQ(r.sampling->windows, 8u);
+}
+
+TEST(Sampling, AdaptiveStopsWhenTargetMet)
+{
+    // A trivially loose target is met by the starting window count.
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    SamplingOptions sopts = smallSampling();
+    sopts.windows = 2;
+    sopts.ciTarget = 1e9;
+    const RunResult r = simulateSampled(config, benchmarkByName("tpc-w"),
+                                        smallRun(), sopts);
+    ASSERT_NE(r.sampling, nullptr);
+    EXPECT_EQ(r.sampling->windows, 2u);
+}
+
+TEST(Sampling, AdaptiveRespectsWindowGeometry)
+{
+    // Span 9600, 2000 ops per window: at most 4 windows fit, whatever
+    // maxWindows allows.
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    SamplingOptions sopts;
+    sopts.windows = 2;
+    sopts.windowOps = 2000;
+    sopts.ciTarget = 1e-9;
+    sopts.maxWindows = 64;
+    const RunResult r = simulateSampled(config, benchmarkByName("tpc-w"),
+                                        smallRun(), sopts);
+    ASSERT_NE(r.sampling, nullptr);
+    EXPECT_EQ(r.sampling->windows, 4u);
+}
+
+TEST(Sampling, AdaptiveFinalRoundMatchesFixedRun)
+{
+    // The adaptive loop's last round is a plain fixed-K run: pinning
+    // start == cap reproduces the non-adaptive result byte for byte.
+    const SystemConfig config = makeDefaultConfig().withCgct(512);
+    SamplingOptions fixed = smallSampling(); // 4 windows, no target.
+    SamplingOptions adaptive = smallSampling();
+    adaptive.ciTarget = 1e-9;
+    adaptive.maxWindows = 4;
+    const WorkloadProfile &profile = benchmarkByName("tpc-w");
+    const RunResult a =
+        simulateSampled(config, profile, smallRun(), fixed);
+    const RunResult b =
+        simulateSampled(config, profile, smallRun(), adaptive);
+    EXPECT_EQ(encoded(a), encoded(b));
+}
+
 TEST(SamplingDeathTest, RejectsOversizedWindows)
 {
     const SystemConfig config = makeDefaultConfig().withCgct(512);

@@ -140,6 +140,9 @@ main(int argc, char **argv)
     std::uint64_t sample = 0;
     std::uint64_t window_ops = 1000;
     std::string warm_mode = "functional";
+    double ci_target = 0.0;
+    std::uint64_t max_windows = 64;
+    std::uint64_t shards = 1;
 
     ArgParser parser(
         "cgct_sim",
@@ -203,6 +206,17 @@ main(int argc, char **argv)
     parser.addString("warm-mode", &warm_mode,
                      "state warming between windows: functional (fast) "
                      "or detailed (reference)");
+    parser.addDouble("ci-target", &ci_target,
+                     "adaptive sampling: double the window count until "
+                     "every headline metric's relative 95% CI half-width "
+                     "is <= this (e.g. 0.05); 0 = fixed --sample count");
+    parser.addU64("max-windows", &max_windows,
+                  "hard cap on the adaptive window count for "
+                  "--ci-target");
+    parser.addU64("shards", &shards,
+                  "run the simulation as N bounded-lag PDES shards "
+                  "(docs/PDES.md); results are byte-identical at any "
+                  "count; 1 = sequential");
     parser.addFlag("check-invariants", &check_invariants,
                    "cross-check region state against cache contents at "
                    "every ordering point");
@@ -251,6 +265,7 @@ main(int argc, char **argv)
     opts.warmupOps = warmup ? warmup : ops / 5;
     opts.seed = seed;
     opts.capturePath = capture_path;
+    opts.shards = static_cast<unsigned>(shards);
 
     if (!capture_path.empty()) {
         if (!replay_path.empty()) {
@@ -331,6 +346,8 @@ main(int argc, char **argv)
         sopts.windowOps = window_ops;
         sopts.warmMode = wmode;
         sopts.jobs = static_cast<unsigned>(jobs);
+        sopts.ciTarget = ci_target;
+        sopts.maxWindows = max_windows;
         results.push_back(simulateSampled(config, profile, opts, sopts));
     } else if (checkpointing && !replay_path.empty()) {
         CheckpointOptions ckpt;

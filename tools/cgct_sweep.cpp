@@ -75,6 +75,7 @@ main(int argc, char **argv)
     std::uint64_t sample = 0;
     std::uint64_t window_ops = 1000;
     std::string warm_mode = "functional";
+    std::uint64_t shards = 1;
 
     ArgParser parser("cgct_sweep",
                      "Run the benchmark x region-size matrix in parallel "
@@ -112,6 +113,9 @@ main(int argc, char **argv)
     parser.addString("warm-mode", &warm_mode,
                      "state warming between windows: functional (fast) "
                      "or detailed (reference)");
+    parser.addU64("shards", &shards,
+                  "bounded-lag PDES shards per simulation (docs/PDES.md); "
+                  "rows are byte-identical at any count; 1 = sequential");
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -144,6 +148,7 @@ main(int argc, char **argv)
     spec.baseSeed = seed;
     spec.opts.opsPerCpu = ops;
     spec.opts.warmupOps = warmup ? warmup : ops / 5;
+    spec.opts.shards = static_cast<unsigned>(shards);
     spec.baseConfig = makeDefaultConfig();
     if (sample) {
         WarmMode wmode = WarmMode::Functional;

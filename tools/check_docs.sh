@@ -21,10 +21,17 @@
 #      every cgct_trace CLI flag and subcommand, and the format
 #      invariants, and be cross-linked from README.md, docs/SWEEP.md,
 #      and docs/ARCHITECTURE.md.
-#   8. docs/SAMPLING.md must cover the sampling flags, both warming
-#      modes, the CI math and its stat names, the validation/bench
-#      gates, and the "when not to trust" caveats, and be cross-linked
-#      from README.md, docs/SWEEP.md, and docs/ARCHITECTURE.md.
+#   8. docs/SAMPLING.md must cover the sampling flags (including the
+#      adaptive --ci-target / --max-windows loop), both warming modes,
+#      the CI math and its stat names, the validation/bench gates, and
+#      the "when not to trust" caveats, and be cross-linked from
+#      README.md, docs/SWEEP.md, and docs/ARCHITECTURE.md.
+#   9. docs/PDES.md must cover the shard-parallel execution mode: the
+#      --shards flag, the bounded-lag quantum/lookahead rule, lineage
+#      ordering, the deferred grant accounting, the engagement gates,
+#      the byte-identity contract, and the scaling bench + TSan preset,
+#      and be cross-linked from README.md, docs/SWEEP.md,
+#      docs/ARCHITECTURE.md, and docs/PERF.md.
 #
 # Run from anywhere:
 #
@@ -245,7 +252,8 @@ else
                  span_ops sampled_ops CGCTSNAP Cold-start \
                  peak_bcast_per_100k test_sampling test_confidence \
                  bench_sampling BENCH_sampling.json \
-                 CGCT_BENCH_SAMPLING_MIN_FRAC; do
+                 CGCT_BENCH_SAMPLING_MIN_FRAC --ci-target \
+                 --max-windows; do
         if ! grep -q -- "$token" "$sampling_doc"; then
             echo "check_docs: docs/SAMPLING.md does not mention $token" \
                  >&2
@@ -260,12 +268,40 @@ else
     done
 fi
 
+# Shard-parallel PDES documentation: docs/PDES.md is the design
+# contract for --shards. It must cover the partitioning, the
+# bounded-lag synchronization rule, the determinism machinery, the
+# engagement gates, and the CI gates that enforce the contract.
+pdes_doc="$root/docs/PDES.md"
+if [ ! -f "$pdes_doc" ]; then
+    echo "check_docs: $pdes_doc is missing" >&2
+    fail=1
+else
+    for token in --shards bounded-lag lookahead quantum lineage \
+                 snoopLatency settleGrants drawsIndependent postTask \
+                 BroadcastRecord pdesStopTick byte-identical \
+                 test_pdes bench_pdes_scaling BENCH_pdes.json \
+                 CGCT_BENCH_PDES_MIN_SPEEDUP sanitize-thread; do
+        if ! grep -q -- "$token" "$pdes_doc"; then
+            echo "check_docs: docs/PDES.md does not mention $token" >&2
+            fail=1
+        fi
+    done
+    for ref in README.md docs/SWEEP.md docs/ARCHITECTURE.md \
+               docs/PERF.md; do
+        if ! grep -q "PDES.md" "$root/$ref"; then
+            echo "check_docs: $ref does not link to docs/PDES.md" >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md /" \
          "docs/TRACING.md / docs/ARCHITECTURE.md / docs/SNAPSHOT.md /" \
-         "docs/TRACE_FORMAT.md / docs/SAMPLING.md" >&2
+         "docs/TRACE_FORMAT.md / docs/SAMPLING.md / docs/PDES.md" >&2
     exit 1
 fi
 echo "check_docs: flags, perf targets, trace event and record types," \
-     "stat names, sampling methodology, and architecture cross-links" \
-     "are all documented"
+     "stat names, sampling methodology, PDES contract, and" \
+     "architecture cross-links are all documented"

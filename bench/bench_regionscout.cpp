@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "interconnect/bus.hpp"
 #include "bench_util.hpp"
 #include "core/regionscout.hpp"
 #include "sim/system.hpp"

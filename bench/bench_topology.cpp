@@ -1,0 +1,244 @@
+/**
+ * @file
+ * bench_topology — inter-chip traffic of the scalable interconnects
+ * (docs/TOPOLOGY.md) on a 16-processor (8-chip) system: the flat
+ * snooping bus broadcasts every request to every remote chip, the
+ * two-level hierarchy keeps RegionScout/CGCT-filtered requests inside
+ * their snoop domain, and the full-map directory snoops only tracked
+ * sharers.
+ *
+ * Emits one machine-readable JSON object on stdout (schema validated
+ * and gated against BENCH_topology.json by tools/bench_smoke.sh):
+ *
+ *   bench_topology [--ops N] [--nodes C]
+ *
+ * Configurations measured (same workload, same seed):
+ *   bus    plain snooping, CGCT off — every broadcast crosses chips.
+ *   hier   two-level snoop hierarchy + CGCT.
+ *   dir    full-map directory + CGCT.
+ *
+ * Two structural contracts are asserted unconditionally and fail the
+ * bench (exit non-zero) on any host:
+ *   - determinism: a repeated hier run produces a byte-identical
+ *     statistics digest;
+ *   - sweep identity: a 16-node `--topology hier` sweep emits the same
+ *     CSV bytes at --jobs 1 and --jobs 4 (the cgct_sweep contract,
+ *     docs/TOPOLOGY.md).
+ * The bus-bypass rate and inter-chip reduction are workload facts, not
+ * wall-clock numbers, so tools/bench_smoke.sh gates them tightly.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "snapshot/journal.hpp"
+#include "snapshot/serializer.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace {
+
+using namespace cgct;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+std::uint64_t
+fnv1a(const std::uint8_t *p, std::size_t n, std::uint64_t h)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** FNV-1a over the canonical journal encoding of a result. */
+std::uint64_t
+digestOf(const RunResult &r)
+{
+    Serializer s;
+    encodeRunResult(s, r);
+    return fnv1a(s.buffer().data(), s.size(), 1469598103934665603ULL);
+}
+
+/** The topology CSV a 16-node hier sweep emits at the given --jobs. */
+std::string
+sweepCsvAt(const SweepSpec &spec, unsigned jobs)
+{
+    std::ostringstream os;
+    writeSweepCsvHeader(os, /*sampled=*/false, /*topo=*/true);
+    SweepRunner runner(spec, jobs);
+    runner.run([&os](const SweepCell &, const RunResult &r) {
+        writeSweepCsvRow(os, r, /*sampled=*/false, /*topo=*/true);
+    });
+    return os.str();
+}
+
+struct TopoRun {
+    double seconds = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t local = 0;
+    std::uint64_t interChip = 0;
+};
+
+TopoRun
+runOne(const SystemConfig &config, const WorkloadProfile &profile,
+       const RunOptions &opts)
+{
+    TopoRun out;
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = simulateOnce(config, profile, opts);
+    out.seconds = secondsSince(t0);
+    out.digest = digestOf(r);
+    out.local = r.localResolves;
+    out.interChip = r.interChipBroadcasts;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 40000;
+    std::uint64_t nodes = 16;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+            nodes = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_topology [--ops N] [--nodes C]\n");
+            return 2;
+        }
+    }
+    if (ops < 5000)
+        ops = 5000;
+    if (nodes < 4)
+        nodes = 4;
+    if (nodes > 64)
+        nodes = 64;
+
+    // tpc-w: the sharing-heavy commercial profile — the workload where
+    // broadcast filtering has to prove itself (PAPER.md, Section 6).
+    const WorkloadProfile profile = benchmarkByName("tpc-w");
+
+    SystemConfig plain = makeDefaultConfig();
+    plain.topology.numCpus = static_cast<unsigned>(nodes);
+    plain.validate();
+
+    SystemConfig hier = plain.withCgct(512);
+    hier.interconnect.topology = TopologyKind::Hier;
+    hier.validate();
+
+    SystemConfig dir = plain.withCgct(512);
+    dir.interconnect.topology = TopologyKind::Dir;
+    dir.validate();
+
+    RunOptions opts;
+    opts.opsPerCpu = ops;
+    opts.warmupOps = ops / 5;
+    opts.seed = 20050609;
+
+    const TopoRun bus = runOne(plain, profile, opts);
+    const TopoRun hi = runOne(hier, profile, opts);
+    const TopoRun hi2 = runOne(hier, profile, opts);
+    const TopoRun dr = runOne(dir, profile, opts);
+
+    if (hi.digest != hi2.digest) {
+        std::fprintf(stderr,
+                     "bench_topology: DIGEST MISMATCH — repeated hier "
+                     "runs differ (%016llx vs %016llx)\n",
+                     static_cast<unsigned long long>(hi.digest),
+                     static_cast<unsigned long long>(hi2.digest));
+        return 1;
+    }
+
+    // The flat bus has no local tier: every grant snoops every chip.
+    if (bus.local != 0) {
+        std::fprintf(stderr,
+                     "bench_topology: flat bus reported %llu local "
+                     "resolves (expected 0)\n",
+                     static_cast<unsigned long long>(bus.local));
+        return 1;
+    }
+
+    // Sweep identity: same bytes at --jobs 1 and --jobs 4 for the
+    // topology-column CSV (a short matrix keeps the bench quick).
+    SweepSpec spec;
+    spec.profiles = {&profile};
+    spec.regionSizes = {0, 512};
+    spec.seedsPerCell = 1;
+    spec.opts.opsPerCpu = ops / 8;
+    spec.opts.warmupOps = ops / 40;
+    spec.baseConfig = plain;
+    spec.baseConfig.interconnect.topology = TopologyKind::Hier;
+    const std::string csv1 = sweepCsvAt(spec, 1);
+    const std::string csv4 = sweepCsvAt(spec, 4);
+    if (csv1 != csv4) {
+        std::fprintf(stderr,
+                     "bench_topology: SWEEP MISMATCH — --jobs 1 and "
+                     "--jobs 4 CSVs differ (%zu vs %zu bytes)\n",
+                     csv1.size(), csv4.size());
+        return 1;
+    }
+    const std::uint64_t csv_digest =
+        fnv1a(reinterpret_cast<const std::uint8_t *>(csv1.data()),
+              csv1.size(), 1469598103934665603ULL);
+
+    const auto rate = [](const TopoRun &r) {
+        const std::uint64_t total = r.local + r.interChip;
+        return total ? static_cast<double>(r.local) / total : 0.0;
+    };
+    const auto reduction = [&bus](const TopoRun &r) {
+        return bus.interChip
+                   ? 1.0 - static_cast<double>(r.interChip) / bus.interChip
+                   : 0.0;
+    };
+
+    std::printf(
+        "{\n"
+        "  \"schema\": \"cgct-bench-topology-v1\",\n"
+        "  \"nodes\": %llu,\n"
+        "  \"ops_per_cpu\": %llu,\n"
+        "  \"seconds_bus\": %.3f,\n"
+        "  \"seconds_hier\": %.3f,\n"
+        "  \"seconds_dir\": %.3f,\n"
+        "  \"bus_interchip\": %llu,\n"
+        "  \"hier_local\": %llu,\n"
+        "  \"hier_interchip\": %llu,\n"
+        "  \"hier_bypass_rate\": %.4f,\n"
+        "  \"hier_interchip_reduction\": %.4f,\n"
+        "  \"dir_local\": %llu,\n"
+        "  \"dir_interchip\": %llu,\n"
+        "  \"dir_bypass_rate\": %.4f,\n"
+        "  \"dir_interchip_reduction\": %.4f,\n"
+        "  \"stats_digest\": \"%016llx\",\n"
+        "  \"digests_identical\": true,\n"
+        "  \"sweep_csv_digest\": \"%016llx\",\n"
+        "  \"sweep_jobs_identical\": true\n"
+        "}\n",
+        static_cast<unsigned long long>(nodes),
+        static_cast<unsigned long long>(ops), bus.seconds, hi.seconds,
+        dr.seconds, static_cast<unsigned long long>(bus.interChip),
+        static_cast<unsigned long long>(hi.local),
+        static_cast<unsigned long long>(hi.interChip), rate(hi),
+        reduction(hi), static_cast<unsigned long long>(dr.local),
+        static_cast<unsigned long long>(dr.interChip), rate(dr),
+        reduction(dr), static_cast<unsigned long long>(hi.digest),
+        static_cast<unsigned long long>(csv_digest));
+    return 0;
+}

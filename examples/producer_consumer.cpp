@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "interconnect/bus.hpp"
 #include "sim/node.hpp"
 
 using namespace cgct;

@@ -6,6 +6,31 @@
 
 namespace cgct {
 
+const char *
+topologyKindName(TopologyKind k)
+{
+    switch (k) {
+      case TopologyKind::Bus:  return "bus";
+      case TopologyKind::Hier: return "hier";
+      case TopologyKind::Dir:  return "dir";
+    }
+    return "bus";
+}
+
+bool
+parseTopologyKind(const std::string &s, TopologyKind *out)
+{
+    if (s == "bus")
+        *out = TopologyKind::Bus;
+    else if (s == "hier")
+        *out = TopologyKind::Hier;
+    else if (s == "dir")
+        *out = TopologyKind::Dir;
+    else
+        return false;
+    return true;
+}
+
 Tick
 InterconnectParams::xferLatency(Distance d) const
 {
@@ -73,6 +98,10 @@ SystemConfig::validate() const
     }
     if (!isPowerOfTwo(topology.interleaveBytes))
         fatal("config: interleave granularity must be a power of two");
+    if (interconnect.topology != TopologyKind::Bus &&
+        topology.numCpus > 64)
+        fatal("config: hier/dir topologies track presence in 64-bit "
+              "processor masks; numCpus must be <= 64");
 }
 
 SystemConfig

@@ -52,8 +52,34 @@ struct PrefetchParams {
     bool exclusivePrefetch = true;       ///< R10000-style for stores.
 };
 
+/**
+ * Interconnect organization (docs/TOPOLOGY.md). `Bus` is the paper's flat
+ * Fireplane-like broadcast network; `Hier` splits it into per-chip snoop
+ * domains bridged by an inter-chip broadcast level; `Dir` replaces the
+ * inter-chip broadcast with a full-map directory at the home memory
+ * controller.
+ */
+enum class TopologyKind : std::uint8_t {
+    Bus = 0,
+    Hier = 1,
+    Dir = 2,
+};
+
+const char *topologyKindName(TopologyKind k);
+bool parseTopologyKind(const std::string &s, TopologyKind *out);
+
 /** Interconnect and memory latencies (Table 3, "Interconnect"). */
 struct InterconnectParams {
+    /** Interconnect organization (bus / hier / dir, docs/TOPOLOGY.md). */
+    TopologyKind topology = TopologyKind::Bus;
+    /**
+     * Snoop-combining latency of one per-chip snoop domain (hier only):
+     * the intra-chip ring is short, so a local resolution costs a
+     * fraction of the full Fireplane snoop.
+     */
+    Tick localSnoopLatency = systemCycles(6);
+    /** Directory-bank tag lookup latency at the home controller. */
+    Tick dirLookupLatency = systemCycles(4);
     Tick snoopLatency = systemCycles(16);          ///< 106 ns.
     Tick dramLatency = systemCycles(16);           ///< 106 ns.
     /** Extra DRAM time beyond the snoop when overlapped (47 ns). */

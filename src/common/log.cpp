@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_set>
 
 namespace cgct {
 
@@ -59,6 +61,48 @@ logMessage(LogLevel level, const char *component, const char *fmt, ...)
     va_start(args, fmt);
     vlogMessage(level, component, fmt, args);
     va_end(args);
+}
+
+namespace {
+
+// Dedup state for warnOnce(). Guarded by a mutex: parallel sweep
+// workers can race to report the same gate, and exactly one must win.
+std::mutex g_warnOnceMutex;
+std::unordered_set<std::string> g_warnOnceKeys;
+unsigned g_warnOnceCount = 0;
+
+} // namespace
+
+bool
+warnOnce(const std::string &key, const char *component, const char *fmt,
+         ...)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_warnOnceMutex);
+        if (!g_warnOnceKeys.insert(key).second)
+            return false;
+        ++g_warnOnceCount;
+    }
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Warn, component, fmt, args);
+    va_end(args);
+    return true;
+}
+
+unsigned
+warnOnceFired()
+{
+    std::lock_guard<std::mutex> lock(g_warnOnceMutex);
+    return g_warnOnceCount;
+}
+
+void
+resetWarnOnceForTest()
+{
+    std::lock_guard<std::mutex> lock(g_warnOnceMutex);
+    g_warnOnceKeys.clear();
+    g_warnOnceCount = 0;
 }
 
 void

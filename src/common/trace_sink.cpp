@@ -143,6 +143,34 @@ TraceSink::rcaEvict(Tick now, CpuId cpu, Addr region_addr,
     push(e);
 }
 
+void
+TraceSink::hierEscape(Tick now, CpuId cpu, RequestType req, Addr line_addr,
+                      std::uint64_t mask)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::hier_escape;
+    e.cpu = cpu;
+    e.req = req;
+    e.addr = line_addr;
+    e.value = mask;
+    push(e);
+}
+
+void
+TraceSink::dirLookup(Tick now, CpuId cpu, RequestType req, Addr line_addr,
+                     std::uint64_t mask)
+{
+    TraceEvent e;
+    e.tick = now;
+    e.type = TraceEventType::dir_lookup;
+    e.cpu = cpu;
+    e.req = req;
+    e.addr = line_addr;
+    e.value = mask;
+    push(e);
+}
+
 namespace {
 
 void
@@ -226,6 +254,14 @@ writeJsonlFields(std::ostream &os, const TraceEvent &e)
         hexAddr(os, e.addr);
         os << ",\"state\":\"" << regionStateName(e.stateBefore)
            << "\",\"lines\":" << e.value;
+        break;
+
+      case TraceEventType::hier_escape:
+      case TraceEventType::dir_lookup:
+        os << "\"cpu\":" << e.cpu << ",\"req\":\""
+           << requestTypeName(e.req) << "\",\"addr\":";
+        hexAddr(os, e.addr);
+        os << ",\"mask\":" << e.value;
         break;
     }
 }

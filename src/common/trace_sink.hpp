@@ -47,7 +47,9 @@ enum class RouteKind : std::uint8_t;
     X(bus_grant)                                                            \
     X(bus_resolve)                                                          \
     X(mem_access)                                                           \
-    X(rca_evict)
+    X(rca_evict)                                                            \
+    X(hier_escape)                                                          \
+    X(dir_lookup)
 
 /** Trace event discriminator (see CGCT_TRACE_EVENT_TYPES). */
 enum class TraceEventType : std::uint8_t {
@@ -152,6 +154,20 @@ class TraceSink
     /** An RCA entry was displaced by allocation. */
     void rcaEvict(Tick now, CpuId cpu, Addr region_addr, RegionState state,
                   std::uint32_t line_count);
+
+    /**
+     * A request escaped its per-chip snoop domain onto the inter-chip
+     * level (hier topology); @p mask is the presence mask that forced it.
+     */
+    void hierEscape(Tick now, CpuId cpu, RequestType req, Addr line_addr,
+                    std::uint64_t mask);
+
+    /**
+     * The home directory bank looked up @p line_addr; @p mask is the
+     * snoop set (sharers | region presence) the lookup produced.
+     */
+    void dirLookup(Tick now, CpuId cpu, RequestType req, Addr line_addr,
+                   std::uint64_t mask);
 
     /** One JSON object per line; schema in docs/TRACING.md. */
     static void writeJsonl(const std::vector<TraceEvent> &events,

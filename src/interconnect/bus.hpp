@@ -6,107 +6,35 @@
  * (line state plus the CGCT region bits) have been combined. For requests
  * served by memory, the DRAM access is started in parallel with the snoop
  * (Figure 6), so only the overlapped-extra latency remains afterwards.
+ *
+ * The flat bus is one Interconnect topology (docs/TOPOLOGY.md): every
+ * request snoops every processor (snoop mask = all ones), so each
+ * broadcast occupies the single system-wide — "inter-chip" — level.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
-#include "common/config.hpp"
-#include "common/inline_function.hpp"
-#include "common/stats.hpp"
-#include "common/types.hpp"
-#include "coherence/snoop.hpp"
-#include "event/event_queue.hpp"
-#include "interconnect/data_network.hpp"
-#include "mem/address_map.hpp"
-#include "mem/memory_controller.hpp"
+#include "interconnect/interconnect.hpp"
 
 namespace cgct {
 
-class TraceSink;
-
-/**
- * Interface every processor node exposes to the bus. Snoops are applied in
- * two phases at the resolution tick: first the conventional line snoop
- * (which mutates MOESI state), then the region snoop (which reports the
- * CGCT region bits and applies the Figure 5 downgrade).
- */
-class SnoopClient
-{
-  public:
-    virtual ~SnoopClient() = default;
-
-    virtual CpuId cpuId() const = 0;
-
-    /** Apply the line-level snoop and report the outcome. */
-    virtual LineSnoopOutcome snoopLine(const SystemRequest &req) = 0;
-
-    /**
-     * Report this processor's region-status bits for the request's region
-     * and apply the external-request downgrade.
-     * @param requester_gets_exclusive whether the requester will end up
-     *        with a modifiable (or silently-upgradable) copy of the line.
-     */
-    virtual RegionSnoopBits
-    snoopRegion(const SystemRequest &req, bool requester_gets_exclusive) = 0;
-};
-
 /** The broadcast address bus plus snoop-response combining logic. */
-class Bus
+class Bus : public Interconnect
 {
   public:
-    /**
-     * Inline capture capacity of a snoop-response continuation: sized for
-     * the node's continuation (node pointer + request descriptor + issue
-     * tick; the completion context itself lives in the requester's MSHR
-     * slot) with no heap fallback.
-     */
-    static constexpr std::size_t kResponseFnCapacity = 48;
-
-    /**
-     * Called with the aggregated response when the snoop resolves.
-     * Allocation-free: the capture lives inline in the bus queue / event
-     * wheel (oversized captures fail to compile).
-     * @param data_ready tick when the critical word reaches the requester
-     *        (equals the resolution tick for requests without data).
-     */
-    using ResponseFn =
-        InlineFunction<void(const SnoopResponse &, Tick data_ready),
-                       kResponseFnCapacity>;
-
-    /** Observer invoked at resolution time *before* any state changes. */
-    using Observer = std::function<void(const SystemRequest &)>;
-
     Bus(EventQueue &eq, const InterconnectParams &params,
         const AddressMap &map, DataNetwork &data_net,
         std::vector<MemoryController *> mem_ctrls);
-
-    /** Register a processor node. */
-    void addClient(SnoopClient *client);
-
-    /** Register a pre-snoop observer (the unnecessary-broadcast oracle). */
-    void setObserver(Observer obs) { observer_ = std::move(obs); }
-
-    /**
-     * Hook invoked after a resolution fully completes (response delivered,
-     * requester state updated). The invariant checker uses it to validate
-     * region state against cache contents at the ordering point.
-     */
-    using PostResolveFn = std::function<void(const SystemRequest &)>;
-    void setPostResolveHook(PostResolveFn fn) { postResolve_ = std::move(fn); }
-
-    /** Emit bus_grant / bus_resolve trace events to @p sink. */
-    void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
     /**
      * Broadcast @p req, invoking @p fn at resolution. Must be called at
      * the issuing event's time (requests are granted FCFS).
      */
-    void broadcast(const SystemRequest &req, ResponseFn fn);
+    void broadcast(const SystemRequest &req, ResponseFn fn) override;
 
     /**
      * PDES logical-grant mode (docs/PDES.md). Sharded runs replay bus
@@ -120,7 +48,8 @@ class Bus
      * reconcile the executed-event count with a sequential run.
      */
     void setLogicalGrants(bool on) { logicalGrants_ = on; }
-    void broadcastAt(const SystemRequest &req, ResponseFn fn, Tick enq);
+    void broadcastAt(const SystemRequest &req, ResponseFn fn,
+                     Tick enq) override;
     std::uint64_t takeSyntheticGrants()
     {
         const std::uint64_t n = syntheticGrants_;
@@ -141,26 +70,20 @@ class Bus
      */
     void settleGrants(Tick up_to);
 
-    struct Stats {
-        std::uint64_t broadcasts = 0;
-        std::uint64_t queueCycles = 0;      ///< Arbitration wait.
-        std::uint64_t cacheToCache = 0;     ///< Data supplied by a cache.
-        std::uint64_t memorySupplied = 0;   ///< Data supplied by DRAM.
-    };
+    /** On the flat bus every broadcast occupies the system-wide level. */
+    std::uint64_t interChipBroadcasts() const override
+    {
+        return stats_.broadcasts;
+    }
 
-    const Stats &stats() const { return stats_; }
-    const IntervalTracker &traffic() const { return traffic_; }
-    IntervalTracker &traffic() { return traffic_; }
-
-    void addStats(StatGroup &group) const;
+    void addStats(StatGroup &group) const override;
 
     /** Clear counters; traffic windows restart at @p now. */
     void
-    resetStats(Tick now)
+    resetStats(Tick now) override
     {
         settleGrants(now);
-        stats_ = Stats{};
-        traffic_.reset(now);
+        Interconnect::resetStats(now);
     }
 
     /**
@@ -168,8 +91,8 @@ class Bus
      * system); serialize() panics otherwise. Saves the arbitration
      * slot cursor, the counters and the traffic windows.
      */
-    void serialize(Serializer &s) const;
-    void deserialize(SectionReader &r);
+    void serialize(Serializer &s) const override;
+    void deserialize(SectionReader &r) override;
 
   private:
     struct Pending {
@@ -181,16 +104,6 @@ class Bus
     void scheduleGrant();
     void grant();
     void resolve(const SystemRequest &req, ResponseFn fn);
-
-    EventQueue &eq_;
-    InterconnectParams params_;
-    const AddressMap &map_;
-    DataNetwork &dataNet_;
-    std::vector<MemoryController *> memCtrls_;
-    std::vector<SnoopClient *> clients_;
-    Observer observer_;
-    PostResolveFn postResolve_;
-    TraceSink *trace_ = nullptr;
 
     std::deque<Pending> queue_;
     bool grantScheduled_ = false;
@@ -204,9 +117,6 @@ class Bus
         Tick queued;
     };
     std::deque<GrantCharge> grantCharges_;
-
-    Stats stats_;
-    IntervalTracker traffic_{100000};
 };
 
 } // namespace cgct

@@ -4,7 +4,7 @@
 
 namespace cgct {
 
-DmaEngine::DmaEngine(EventQueue &eq, Bus &bus, const DmaParams &params,
+DmaEngine::DmaEngine(EventQueue &eq, Interconnect &bus, const DmaParams &params,
                      const TopologyParams &topo, std::uint64_t seed)
     : eq_(eq), bus_(bus), params_(params), id_(dmaRequesterId(topo)),
       rng_(seed ^ 0xD1A5ULL)

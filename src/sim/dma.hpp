@@ -20,7 +20,7 @@
 #include "common/random.hpp"
 #include "common/stats.hpp"
 #include "event/event_queue.hpp"
-#include "interconnect/bus.hpp"
+#include "interconnect/interconnect.hpp"
 
 namespace cgct {
 
@@ -35,7 +35,7 @@ dmaRequesterId(const TopologyParams &topo)
 class DmaEngine
 {
   public:
-    DmaEngine(EventQueue &eq, Bus &bus, const DmaParams &params,
+    DmaEngine(EventQueue &eq, Interconnect &bus, const DmaParams &params,
               const TopologyParams &topo, std::uint64_t seed);
 
     /**
@@ -73,7 +73,7 @@ class DmaEngine
     void transfer();
 
     EventQueue &eq_;
-    Bus &bus_;
+    Interconnect &bus_;
     DmaParams params_;
     CpuId id_;
     Rng rng_;

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "core/cgct_controller.hpp"
 #include "event/event_queue.hpp"
+#include "interconnect/interconnect.hpp"
 #include "sim/node.hpp"
 
 namespace cgct {
@@ -48,8 +49,69 @@ InvariantChecker::InvariantChecker(const SystemConfig &config,
 }
 
 std::string
+InvariantChecker::checkCoverage(Addr addr) const
+{
+    if (!interconnect_ || !interconnect_->tracksPresence())
+        return {};
+
+    const std::uint64_t rbytes = config_.cgct.regionBytes;
+    const Addr region = alignDown(addr, rbytes);
+    const bool dir = interconnect_->tracksSharers();
+
+    // F/G: every line the L2 arrays actually hold must be covered by
+    // the topology's conservative tracking, per holder. numCpus <= 64
+    // is enforced by config.validate() for tracked topologies.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        std::string err;
+        nodes_[i]->l2().array().forEachLineInRegion(
+            region, rbytes, [&](const CacheLine &line) {
+                if (!err.empty())
+                    return;
+                const std::uint64_t pres =
+                    interconnect_->presenceMask(line.lineAddr);
+                const std::uint64_t bit = 1ULL << i;
+                if (dir) {
+                    const std::uint64_t cover =
+                        pres | interconnect_->sharerMask(line.lineAddr);
+                    if (!(cover & bit))
+                        err = "cpu" + std::to_string(i) + " holds line " +
+                              hexAddr(line.lineAddr) +
+                              " but the directory covers neither its "
+                              "sharer vector nor region presence";
+                } else if (!(pres & bit)) {
+                    err = "cpu" + std::to_string(i) + " holds line " +
+                          hexAddr(line.lineAddr) +
+                          " outside the region presence mask";
+                }
+            });
+        if (!err.empty())
+            return err;
+    }
+
+    // F: a chip with a valid RCA entry can direct-fill any line of the
+    // region without a traversal, so presence must already cover every
+    // core of that chip.
+    for (const Group &g : groups_) {
+        if (!g.ctrl->rca().peekEntry(region))
+            continue;
+        const std::uint64_t pres = interconnect_->presenceMask(region);
+        for (std::size_t i : g.nodeIdx) {
+            if (!(pres & (1ULL << i)))
+                return "cpu" + std::to_string(i) +
+                       "'s chip holds an RCA entry for region " +
+                       hexAddr(region) +
+                       " outside the region presence mask";
+        }
+    }
+    return {};
+}
+
+std::string
 InvariantChecker::checkRegion(Addr addr) const
 {
+    std::string cover = checkCoverage(addr);
+    if (!cover.empty())
+        return cover;
     if (groups_.empty())
         return {};
 
@@ -135,7 +197,9 @@ InvariantChecker::checkRegion(Addr addr) const
 std::string
 InvariantChecker::checkAll() const
 {
-    if (groups_.empty())
+    const bool tracked =
+        interconnect_ && interconnect_->tracksPresence();
+    if (groups_.empty() && !tracked)
         return {};
 
     const std::uint64_t rbytes = config_.cgct.regionBytes;

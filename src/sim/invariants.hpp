@@ -21,6 +21,17 @@
  *     tracker's nodes;
  *  E. a cached line implies a valid RCA entry for its region (inclusion).
  *
+ * With a filtered interconnect topology (hier / dir, docs/TOPOLOGY.md)
+ * the checker additionally proves the filter state conservative against
+ * the same L2 ground truth — these hold per snoop domain, without
+ * assuming a single global bus:
+ *  F. presence coverage: every processor caching a line of a region is
+ *     set in the topology's presence mask for that region, and every
+ *     chip with a valid RCA entry for the region is fully covered (its
+ *     cores can direct-fill through the entry without a traversal);
+ *  G. directory coverage: every processor caching a line is in the
+ *     line's sharer vector or the region's presence mask.
+ *
  * Activation: `cgct_sim --check-invariants`, or automatically in debug
  * (NDEBUG-undefined) builds when CGCT is enabled. All lookups use the
  * side-effect-free peek paths, so enabling the checker never perturbs
@@ -40,6 +51,7 @@ namespace cgct {
 
 class CgctController;
 class EventQueue;
+class Interconnect;
 class Node;
 
 /** Region-protocol-vs-cache-contents cross validator. */
@@ -79,6 +91,20 @@ class InvariantChecker
     void setEventQueue(const EventQueue *eq) { eq_ = eq; }
 
     /**
+     * Attach the interconnect so invariants F/G can cross-validate its
+     * presence / sharer tracking against L2 ground truth (wired by
+     * System; a flat bus tracks nothing and the checks are skipped).
+     */
+    void setInterconnect(const Interconnect *ic) { interconnect_ = ic; }
+
+    /**
+     * Invariant F/G alone for the region containing @p addr, non-fatal
+     * (used by the injected-corruption test and checkRegion()).
+     * @return a description of the first violation, or empty.
+     */
+    std::string checkCoverage(Addr addr) const;
+
+    /**
      * Record the most recent checkpoint written (snapshot harness), so
      * an invariant failure can point at the nearest restore point:
      * replay the failing window with
@@ -99,6 +125,7 @@ class InvariantChecker
     std::vector<Group> groups_;
     std::uint64_t checksRun_ = 0;
     const EventQueue *eq_ = nullptr;
+    const Interconnect *interconnect_ = nullptr;
     std::string lastCheckpointPath_;
     Tick lastCheckpointTick_ = 0;
     bool haveCheckpoint_ = false;

@@ -130,6 +130,13 @@ toJson(const RunResult &r, const std::string &indent)
     w.field("memory_supplied", r.memorySupplied);
     w.close();
 
+    w.open("interconnect");
+    w.field("topology", r.topology);
+    w.field("nodes", static_cast<std::uint64_t>(r.nodes));
+    w.field("local_resolves", r.localResolves);
+    w.field("interchip_broadcasts", r.interChipBroadcasts);
+    w.close();
+
     w.open("memory");
     w.field("l2_miss_ratio", r.l2MissRatio);
     w.field("avg_miss_latency", r.avgMissLatency);

@@ -18,7 +18,8 @@ Node::setTraceSink(TraceSink *sink)
         tracker_->setTraceSink(sink);
 }
 
-Node::Node(CpuId cpu, const SystemConfig &config, EventQueue &eq, Bus &bus,
+Node::Node(CpuId cpu, const SystemConfig &config, EventQueue &eq,
+           Interconnect &bus,
            DataNetwork &data_net, const AddressMap &map,
            std::vector<MemoryController *> mem_ctrls,
            std::shared_ptr<RegionTracker> tracker)
@@ -298,7 +299,7 @@ Node::dispatchSystemRequest(RequestType type, Addr line_addr, Tick now,
 void
 Node::postBroadcast(const SystemRequest &req, Tick issued, Tick enq)
 {
-    Bus::ResponseFn fn = [this, req, issued](const SnoopResponse &resp,
+    Interconnect::ResponseFn fn = [this, req, issued](const SnoopResponse &resp,
                                              Tick data_ready) {
         handleBroadcastResponse(req.type, req.lineAddr, resp, data_ready);
         if (!req.isPrefetch && req.type != RequestType::Writeback)
@@ -992,6 +993,10 @@ Node::warmBroadcast(RequestType type, Addr line_addr, Tick now,
         wantsExclusive(type) || isDcbOp(type) ||
         ((type == RequestType::Read || type == RequestType::Prefetch) &&
          !resp.line.anyCopy);
+
+    // Topology-private tracking state (presence / sharer maps) follows
+    // the warmed caches just as it would follow a timed resolution.
+    bus_.warmNote(req, gets_exclusive);
 
     if (type != RequestType::Writeback) {
         for (Node *peer : *warmPeers_) {

@@ -37,7 +37,7 @@
 #include "common/stats.hpp"
 #include "core/cgct_controller.hpp"
 #include "event/event_queue.hpp"
-#include "interconnect/bus.hpp"
+#include "interconnect/interconnect.hpp"
 #include "interconnect/data_network.hpp"
 #include "mem/address_map.hpp"
 #include "mem/memory_controller.hpp"
@@ -62,7 +62,8 @@ class Node : public SnoopClient
     using CompletionFn = InlineFunction<void(Tick ready),
                                         kCompletionCapacity>;
 
-    Node(CpuId cpu, const SystemConfig &config, EventQueue &eq, Bus &bus,
+    Node(CpuId cpu, const SystemConfig &config, EventQueue &eq,
+         Interconnect &bus,
          DataNetwork &data_net, const AddressMap &map,
          std::vector<MemoryController *> mem_ctrls,
          std::shared_ptr<RegionTracker> tracker);
@@ -342,7 +343,7 @@ class Node : public SnoopClient
     CpuId cpu_;
     const SystemConfig &config_;
     EventQueue &eq_;
-    Bus &bus_;
+    Interconnect &bus_;
     DataNetwork &dataNet_;
     const AddressMap &map_;
     std::vector<MemoryController *> memCtrls_;

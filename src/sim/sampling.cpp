@@ -294,6 +294,8 @@ sampledAtK(const SystemConfig &config, const WorkloadProfile &profile,
     agg.workload = windows.front().workload;
     agg.regionBytes = windows.front().regionBytes;
     agg.seed = windows.front().seed;
+    agg.topology = windows.front().topology;
+    agg.nodes = windows.front().nodes;
 
     std::vector<double> s_cycles, s_lat, s_miss, s_avoid, s_bcast;
     std::uint64_t cycles_sum = 0;
@@ -317,6 +319,8 @@ sampledAtK(const SystemConfig &config, const WorkloadProfile &profile,
         }
         agg.cacheToCache += r.cacheToCache;
         agg.memorySupplied += r.memorySupplied;
+        agg.localResolves += r.localResolves;
+        agg.interChipBroadcasts += r.interChipBroadcasts;
         agg.inclusionWritebacks += r.inclusionWritebacks;
         agg.instructions += r.instructions;
         cycles_sum += r.cycles;
@@ -355,6 +359,8 @@ sampledAtK(const SystemConfig &config, const WorkloadProfile &profile,
     agg.oracleUnnecessary = scaleCount(agg.oracleUnnecessary, scale);
     agg.cacheToCache = scaleCount(agg.cacheToCache, scale);
     agg.memorySupplied = scaleCount(agg.memorySupplied, scale);
+    agg.localResolves = scaleCount(agg.localResolves, scale);
+    agg.interChipBroadcasts = scaleCount(agg.interChipBroadcasts, scale);
     agg.inclusionWritebacks = scaleCount(agg.inclusionWritebacks, scale);
 
     agg.l2MissRatio = l2_sum / n;

@@ -207,6 +207,10 @@ collectRunResult(System &sys, const std::string &workload_name,
         static_cast<double>(sys.bus().traffic().peakWindowCount());
     r.cacheToCache = sys.bus().stats().cacheToCache;
     r.memorySupplied = sys.bus().stats().memorySupplied;
+    r.topology = topologyKindName(config.interconnect.topology);
+    r.nodes = config.topology.numCpus;
+    r.localResolves = sys.bus().localDomainResolves();
+    r.interChipBroadcasts = sys.bus().interChipBroadcasts();
 
     // Aggregate the observability histograms/distributions system-wide.
     {

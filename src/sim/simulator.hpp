@@ -125,6 +125,17 @@ struct RunResult {
     double avgBroadcastsPer100k = 0.0;
     double peakBroadcastsPer100k = 0.0;
 
+    // Interconnect topology (docs/TOPOLOGY.md). `topology` names the
+    // organization ("bus" / "hier" / "dir"), `nodes` the processor
+    // count; the two counters split the topology's requests into those
+    // resolved inside the requester's snoop domain and those that
+    // occupied the inter-chip level (on the flat bus every broadcast
+    // does — the scaling figure's headline metric).
+    std::string topology = "bus";
+    unsigned nodes = 4;
+    std::uint64_t localResolves = 0;
+    std::uint64_t interChipBroadcasts = 0;
+
     // Memory behavior.
     double l2MissRatio = 0.0;
     double avgMissLatency = 0.0;

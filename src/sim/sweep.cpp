@@ -139,7 +139,7 @@ SweepRunner::runResumable(const ResumeHooks &hooks,
 }
 
 void
-writeSweepCsvHeader(std::ostream &os, bool sampled)
+writeSweepCsvHeader(std::ostream &os, bool sampled, bool topo)
 {
     os << "workload,region_bytes,seed,cycles,instructions,"
           "requests,broadcasts,directs,locals,writebacks,"
@@ -151,11 +151,14 @@ writeSweepCsvHeader(std::ostream &os, bool sampled)
               "window_cycles_ci95,avoided_fraction_ci95,"
               "l2_miss_ratio_ci95,avg_miss_latency_ci95,"
               "avg_bcast_per_100k_ci95";
+    if (topo)
+        os << ",topology,nodes,local_resolves,interchip_broadcasts";
     os << "\n";
 }
 
 void
-writeSweepCsvRow(std::ostream &os, const RunResult &r, bool sampled)
+writeSweepCsvRow(std::ostream &os, const RunResult &r, bool sampled,
+                 bool topo)
 {
     char buf[512];
     std::snprintf(buf, sizeof(buf),
@@ -193,6 +196,13 @@ writeSweepCsvRow(std::ostream &os, const RunResult &r, bool sampled)
         } else {
             os << ",,,,,,,,,";
         }
+    }
+    if (topo) {
+        std::snprintf(buf, sizeof(buf), ",%s,%u,%llu,%llu",
+                      r.topology.c_str(), r.nodes,
+                      static_cast<unsigned long long>(r.localResolves),
+                      static_cast<unsigned long long>(r.interChipBroadcasts));
+        os << buf;
     }
     os << "\n";
 }

@@ -143,12 +143,16 @@ class SweepRunner
  * CSV header matching writeSweepCsvRow's column order. The default is
  * the historical 16-column format, byte-identical to every earlier
  * release; @p sampled appends the per-window CI columns a sampled sweep
- * fills in (docs/SAMPLING.md).
+ * fills in (docs/SAMPLING.md), and @p topo appends the interconnect
+ * topology columns a non-default `--nodes`/`--topology` sweep reports
+ * (docs/TOPOLOGY.md).
  */
-void writeSweepCsvHeader(std::ostream &os, bool sampled = false);
+void writeSweepCsvHeader(std::ostream &os, bool sampled = false,
+                         bool topo = false);
 
-/** One CSV row (16 columns, plus the sampling columns when asked). */
+/** One CSV row (16 columns, plus the sampling/topology columns when
+ *  asked). */
 void writeSweepCsvRow(std::ostream &os, const RunResult &r,
-                      bool sampled = false);
+                      bool sampled = false, bool topo = false);
 
 } // namespace cgct

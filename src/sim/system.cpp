@@ -41,10 +41,34 @@ System::System(const SystemConfig &config, OpSource &source,
 #endif
     const unsigned n_chips = config_.topology.numChips();
     unsigned eff_shards = shards < n_chips ? shards : n_chips;
-    const bool pdes_ok = eff_shards > 1 && !config_.cgct.enabled &&
+    const bool flat_bus =
+        config_.interconnect.topology == TopologyKind::Bus;
+    const bool pdes_ok = eff_shards > 1 && flat_bus &&
+                         !config_.cgct.enabled &&
                          !config_.obs.trace && !check &&
                          config_.interconnect.snoopLatency >= 1 &&
                          source.drawsIndependent();
+    if (shards > 1 && !pdes_ok) {
+        // The fallback is silent per run (byte-identical results either
+        // way), but the *first* ignored --shards request names its gate
+        // once on stderr so the user knows why no speedup appeared.
+        const char *gate =
+            eff_shards <= 1 ? "the machine has fewer than two chips"
+            : !flat_bus     ? "--topology is not the flat bus (only the "
+                              "single-hub bus has a PDES deferral channel)"
+            : config_.cgct.enabled
+                ? "CGCT is enabled (shared-tracker routing is cross-CPU "
+                  "state outside the bus ordering point)"
+            : config_.obs.trace ? "tracing is enabled"
+            : check             ? "invariant checking is enabled"
+            : config_.interconnect.snoopLatency < 1
+                ? "the snoop latency (the PDES lookahead) is zero"
+                : "the workload's lanes do not draw independently";
+        warnOnce("pdes-fallback", "system",
+                 "--shards %u ignored, running sequentially: %s "
+                 "(docs/PDES.md)",
+                 shards, gate);
+    }
     if (pdes_ok) {
         shardQs_.reserve(eff_shards);
         for (unsigned i = 0; i < eff_shards; ++i)
@@ -62,8 +86,22 @@ System::System(const SystemConfig &config, OpSource &source,
     // One extra data-network link for the I/O bridge (DMA).
     dataNet_ = std::make_unique<DataNetwork>(config_.topology.numCpus + 1,
                                              config_.interconnect);
-    bus_ = std::make_unique<Bus>(eq_, config_.interconnect, map_,
-                                 *dataNet_, ctrl_ptrs);
+    switch (config_.interconnect.topology) {
+      case TopologyKind::Bus:
+        bus_ = std::make_unique<Bus>(eq_, config_.interconnect, map_,
+                                     *dataNet_, ctrl_ptrs);
+        break;
+      case TopologyKind::Hier:
+        bus_ = std::make_unique<HierRouter>(
+            eq_, config_.interconnect, map_, *dataNet_, ctrl_ptrs,
+            config_.topology, config_.cgct.regionBytes);
+        break;
+      case TopologyKind::Dir:
+        bus_ = std::make_unique<DirectoryInterconnect>(
+            eq_, config_.interconnect, map_, *dataNet_, ctrl_ptrs,
+            config_.topology, config_.cgct.regionBytes);
+        break;
+    }
 
     // One tracker per core, or one per chip shared by its cores
     // (Section 3.2) when configured.
@@ -132,6 +170,7 @@ System::System(const SystemConfig &config, OpSource &source,
         checker_ = std::make_unique<InvariantChecker>(config_,
                                                       const_nodes);
         checker_->setEventQueue(&eq_);
+        checker_->setInterconnect(bus_.get());
         bus_->setPostResolveHook([this](const SystemRequest &req) {
             checker_->onTransition(req.lineAddr, "bus_resolve");
         });
@@ -144,8 +183,10 @@ System::System(const SystemConfig &config, OpSource &source,
         qs.reserve(shardQs_.size());
         for (auto &q : shardQs_)
             qs.push_back(q.get());
+        // pdes_ok implies the flat-bus topology (gated above).
         pdes_ = std::make_unique<PdesCoordinator>(
-            eq_, std::move(qs), *bus_, config_.interconnect.snoopLatency);
+            eq_, std::move(qs), static_cast<Bus &>(*bus_),
+            config_.interconnect.snoopLatency);
         for (unsigned i = 0; i < config_.topology.numCpus; ++i)
             nodes_[i]->setPdes(pdes_.get(),
                                shardOfCpu(static_cast<CpuId>(i)));

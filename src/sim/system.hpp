@@ -17,6 +17,9 @@
 #include "cpu/core_model.hpp"
 #include "event/event_queue.hpp"
 #include "interconnect/bus.hpp"
+#include "interconnect/directory.hpp"
+#include "interconnect/interconnect.hpp"
+#include "interconnect/topology.hpp"
 #include "interconnect/data_network.hpp"
 #include "mem/address_map.hpp"
 #include "mem/memory_controller.hpp"
@@ -75,7 +78,7 @@ class System
     EventQueue &eq() { return eq_; }
     const SystemConfig &config() const { return config_; }
     const AddressMap &addressMap() const { return map_; }
-    Bus &bus() { return *bus_; }
+    Interconnect &bus() { return *bus_; }
     DataNetwork &dataNetwork() { return *dataNet_; }
     Oracle &oracle() { return *oracle_; }
     unsigned numCpus() const { return config_.topology.numCpus; }
@@ -151,7 +154,7 @@ class System
     std::vector<std::unique_ptr<EventQueue>> shardQs_;
     std::vector<std::unique_ptr<MemoryController>> memCtrls_;
     std::unique_ptr<DataNetwork> dataNet_;
-    std::unique_ptr<Bus> bus_;
+    std::unique_ptr<Interconnect> bus_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
     std::unique_ptr<Oracle> oracle_;

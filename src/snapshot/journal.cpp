@@ -121,6 +121,13 @@ encodeRunResult(Serializer &s, const RunResult &r)
             s.u64(sum->count);
         }
     }
+
+    // Topology tail (appended after the sampling tail so older decoders
+    // that stop at their last known field still read their prefix).
+    s.str(r.topology);
+    s.u32(r.nodes);
+    s.u64(r.localResolves);
+    s.u64(r.interChipBroadcasts);
 }
 
 RunResult
@@ -205,6 +212,14 @@ decodeRunResult(SectionReader &r)
             sum->count = r.u64();
         }
         out.sampling = std::move(si);
+    }
+
+    // Records written before the topology tail keep its defaults.
+    if (!r.atEnd()) {
+        out.topology = r.str();
+        out.nodes = r.u32();
+        out.localResolves = r.u64();
+        out.interChipBroadcasts = r.u64();
     }
     return out;
 }

@@ -60,6 +60,9 @@ canonicalizeConfig(Serializer &s, const SystemConfig &c)
     s.u64(c.interconnect.snoopTagOccupancy);
     s.u64(c.interconnect.memCtrlSlot);
     s.u64(c.interconnect.dataBytesPerSystemCycle);
+    s.u32(static_cast<std::uint32_t>(c.interconnect.topology));
+    s.u64(c.interconnect.localSnoopLatency);
+    s.u64(c.interconnect.dirLookupLatency);
 
     s.b(c.cgct.enabled);
     s.u64(c.cgct.regionBytes);

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <vector>
 
+#include "interconnect/bus.hpp"
 #include "cpu/core_model.hpp"
 #include "sim/node.hpp"
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "interconnect/bus.hpp"
 #include "sim/dma.hpp"
 #include "sim/node.hpp"
 #include "sim/system.hpp"

@@ -21,6 +21,7 @@
 #include <tuple>
 #include <vector>
 
+#include "interconnect/bus.hpp"
 #include "common/random.hpp"
 #include "sim/node.hpp"
 

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <vector>
 
+#include "interconnect/bus.hpp"
 #include "sim/node.hpp"
 
 namespace cgct {

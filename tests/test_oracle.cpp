@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "interconnect/bus.hpp"
 #include "sim/node.hpp"
 #include "sim/oracle.hpp"
 

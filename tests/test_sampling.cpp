@@ -297,12 +297,22 @@ TEST(Sampling, JournalDecodeAcceptsRecordsWithoutTail)
     in.cycles = 123;
     Serializer s;
     encodeRunResult(s, in);
-    // Strip the one-byte "no sampling" marker to mimic an old record.
+    // Strip the "no sampling" marker and the topology tail to mimic an
+    // old record that ends at the distribution list.
+    Serializer tail;
+    tail.b(false);
+    tail.str(in.topology);
+    tail.u32(in.nodes);
+    tail.u64(in.localResolves);
+    tail.u64(in.interChipBroadcasts);
     SectionReader r(s.buffer().data(),
-                    s.buffer().data() + s.size() - 1, "old-record");
+                    s.buffer().data() + s.size() - tail.size(),
+                    "old-record");
     const RunResult out = decodeRunResult(r);
     EXPECT_EQ(out.cycles, 123u);
     EXPECT_EQ(out.sampling, nullptr);
+    EXPECT_EQ(out.topology, "bus");
+    EXPECT_EQ(out.nodes, 4u);
 }
 
 TEST(Sampling, SweepEmitsCiColumns)

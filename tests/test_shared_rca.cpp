@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "interconnect/bus.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
 #include "sim/system.hpp"

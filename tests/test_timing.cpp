@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "interconnect/bus.hpp"
 #include "sim/node.hpp"
 
 namespace cgct {

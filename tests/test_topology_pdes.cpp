@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for topology/PDES interaction (docs/PDES.md, docs/TOPOLOGY.md):
+ * only the flat bus engages shard-parallel execution, the sequential
+ * fallback stays byte-identical, and an ignored --shards request warns
+ * exactly once on stderr, naming the gate that rejected it — the PR 9
+ * silent-fallback fix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/log.hpp"
+#include "sim/simulator.hpp"
+#include "sim/system.hpp"
+#include "snapshot/journal.hpp"
+#include "snapshot/serializer.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/generator.hpp"
+
+namespace cgct {
+namespace {
+
+class WarnOnceReset : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetWarnOnceForTest(); }
+    void TearDown() override { resetWarnOnceForTest(); }
+};
+
+TEST_F(WarnOnceReset, WarnOnceDeduplicatesByKey)
+{
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(warnOnceFired(), 0u);
+    EXPECT_TRUE(warnOnce("key-a", "test", "first %d", 1));
+    EXPECT_FALSE(warnOnce("key-a", "test", "suppressed %d", 2));
+    EXPECT_FALSE(warnOnce("key-a", "test", "suppressed %d", 3));
+    EXPECT_TRUE(warnOnce("key-b", "test", "other"));
+    EXPECT_EQ(warnOnceFired(), 2u);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("first 1"), std::string::npos);
+    EXPECT_EQ(err.find("suppressed"), std::string::npos);
+}
+
+TEST_F(WarnOnceReset, IgnoredShardsWarnExactlyOnceNamingTheGate)
+{
+    SystemConfig config = makeDefaultConfig();
+    config.topology.numCpus = 16;
+    config.interconnect.topology = TopologyKind::Hier;
+
+    ::testing::internal::CaptureStderr();
+    // Two systems with an ignored --shards request: one warning total.
+    for (int i = 0; i < 2; ++i) {
+        SyntheticWorkload workload(benchmarkByName("tpc-w"),
+                                   config.topology.numCpus, 100, 7);
+        System sys(config, workload, /*shards=*/4);
+        EXPECT_EQ(sys.shards(), 1u);
+    }
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(warnOnceFired(), 1u);
+    EXPECT_NE(err.find("--shards 4 ignored"), std::string::npos) << err;
+    EXPECT_NE(err.find("--topology is not the flat bus"),
+              std::string::npos)
+        << err;
+    // Exactly once: the marker appears a single time.
+    const auto first = err.find("--shards 4 ignored");
+    EXPECT_EQ(err.find("--shards 4 ignored", first + 1),
+              std::string::npos);
+}
+
+TEST_F(WarnOnceReset, GateMessageNamesCgctWhenThatIsTheBlocker)
+{
+    SystemConfig config = makeDefaultConfig().withCgct(512);
+    ::testing::internal::CaptureStderr();
+    SyntheticWorkload workload(benchmarkByName("tpc-w"),
+                               config.topology.numCpus, 100, 7);
+    System sys(config, workload, /*shards=*/2);
+    EXPECT_EQ(sys.shards(), 1u);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("CGCT is enabled"), std::string::npos) << err;
+}
+
+TEST_F(WarnOnceReset, EngagedShardsDoNotWarn)
+{
+    // Baseline flat bus + a workload whose lanes draw independently
+    // (no migratory ownership writes): PDES engages, nothing to warn.
+    SystemConfig config = makeDefaultConfig();
+    WorkloadProfile profile = benchmarkByName("specint2000rate");
+    for (PhaseSpec &ph : profile.phases)
+        ph.pMigrate = 0.0;
+    SyntheticWorkload workload(profile, config.topology.numCpus, 100, 7);
+    System sys(config, workload, /*shards=*/2);
+    EXPECT_EQ(sys.shards(), 2u);
+    EXPECT_EQ(warnOnceFired(), 0u);
+}
+
+TEST_F(WarnOnceReset, FallbackRunIsByteIdenticalToSequential)
+{
+    SystemConfig config = makeDefaultConfig().withCgct(512);
+    config.topology.numCpus = 16;
+    config.interconnect.topology = TopologyKind::Hier;
+    config.validate();
+    RunOptions seq;
+    seq.opsPerCpu = 3000;
+    seq.warmupOps = 600;
+    seq.seed = 7;
+    RunOptions sharded = seq;
+    sharded.shards = 4;
+
+    const RunResult a =
+        simulateOnce(config, benchmarkByName("tpc-w"), seq);
+    const RunResult b =
+        simulateOnce(config, benchmarkByName("tpc-w"), sharded);
+
+    Serializer sa, sb;
+    encodeRunResult(sa, a);
+    encodeRunResult(sb, b);
+    ASSERT_EQ(sa.size(), sb.size());
+    EXPECT_EQ(std::memcmp(sa.buffer().data(), sb.buffer().data(),
+                          sa.size()),
+              0);
+}
+
+} // namespace
+} // namespace cgct

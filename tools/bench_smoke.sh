@@ -6,7 +6,8 @@
 #                        [bench_memory_system-binary] \
 #                        [bench_trace_replay-binary] \
 #                        [bench_sampling-binary] \
-#                        [bench_pdes_scaling-binary]
+#                        [bench_pdes_scaling-binary] \
+#                        [bench_topology-binary]
 #
 # 1. Runs bench_event_queue for a few iterations. The binary itself
 #    enforces the zero-allocation contract (it exits non-zero if the
@@ -40,17 +41,25 @@
 #    (default 1.8) 4-shard speedup gate arms only when the host reports
 #    >= 4 CPUs, because on fewer cores the barriers are pure overhead
 #    and a slowdown is the honest expectation (see BENCH_pdes.json).
+# 8. When the bench_topology binary is given, runs the interconnect
+#    bench (docs/TOPOLOGY.md). The binary itself asserts digest
+#    determinism and cgct_sweep --jobs byte-identity; the smoke gate
+#    additionally holds the 16-node bus-bypass rate and inter-chip
+#    reduction to a fraction of BENCH_topology.json
+#    (CGCT_BENCH_TOPO_MIN_FRAC, default 0.9 — these are seeded workload
+#    facts, not wall clock, so the slack is tight).
 #
 # Wired into ctest as the `bench_smoke` test (see tests/CMakeLists.txt).
 
 set -u
 
-bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root] [bench_memory_system-binary] [bench_trace_replay-binary] [bench_sampling-binary] [bench_pdes_scaling-binary]}"
+bench="${1:?usage: bench_smoke.sh <bench_event_queue-binary> [repo-root] [bench_memory_system-binary] [bench_trace_replay-binary] [bench_sampling-binary] [bench_pdes_scaling-binary] [bench_topology-binary]}"
 root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
 membench="${3:-}"
 tracebench="${4:-}"
 samplingbench="${5:-}"
 pdesbench="${6:-}"
+topobench="${7:-}"
 
 if [ ! -x "$bench" ]; then
     echo "bench_smoke: bench binary not found: $bench" >&2
@@ -344,6 +353,63 @@ else:
 PYEOF
     else
         echo "bench_smoke: python3 missing, skipping PDES gate" >&2
+    fi
+fi
+
+# Interconnect topology gate: the binary exits non-zero if repeated runs
+# diverge or the cgct_sweep --jobs CSVs differ, so running it IS the
+# determinism gate. The traffic ratios are deterministic workload facts
+# (seeded runs, no wall clock involved), so the default slack is tight.
+if [ -n "$topobench" ]; then
+    if [ ! -x "$topobench" ]; then
+        echo "bench_smoke: bench_topology binary not found:" \
+             "$topobench" >&2
+        exit 1
+    fi
+    topo_baseline="$root/BENCH_topology.json"
+    if [ ! -f "$topo_baseline" ]; then
+        echo "bench_smoke: $topo_baseline is missing (record the" \
+             "interconnect baseline; see docs/TOPOLOGY.md)" >&2
+        exit 1
+    fi
+    topo_out="$("$topobench" --ops 20000)" || {
+        echo "bench_smoke: bench_topology failed (digest or --jobs" \
+             "sweep mismatch?)" >&2
+        exit 1
+    }
+    json_check "$topo_out" "bench_topology output" \
+        schema nodes ops_per_cpu bus_interchip hier_local \
+        hier_interchip hier_bypass_rate hier_interchip_reduction \
+        dir_local dir_interchip dir_bypass_rate \
+        dir_interchip_reduction stats_digest digests_identical \
+        sweep_csv_digest sweep_jobs_identical || exit 1
+    json_check "$(cat "$topo_baseline")" "BENCH_topology.json" \
+        schema date build topology || exit 1
+
+    topo_min_frac="${CGCT_BENCH_TOPO_MIN_FRAC:-0.9}"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$topo_baseline" "$topo_min_frac" <<PYEOF || exit 1
+import json, sys
+fresh = json.loads("""$topo_out""")
+ref = json.load(open(sys.argv[1]))["topology"]
+frac = float(sys.argv[2])
+if fresh["sweep_jobs_identical"] is not True:
+    sys.exit("bench_smoke: topology sweep CSVs differ across --jobs — "
+             "determinism broken")
+for key in ("hier_bypass_rate", "hier_interchip_reduction",
+            "dir_bypass_rate", "dir_interchip_reduction"):
+    got, base = fresh[key], ref[key]
+    floor = frac * base
+    if got < floor:
+        sys.exit(f"bench_smoke: {key} {got:.3f} is below {frac} x "
+                 f"baseline {base:.3f} (floor {floor:.3f}) — the "
+                 f"escape filter stopped keeping requests on chip?")
+    print(f"bench_smoke: {key} {got:.3f} >= {frac} x baseline "
+          f"{base:.3f}")
+print("bench_smoke: topology digests identical, --jobs CSVs identical")
+PYEOF
+    else
+        echo "bench_smoke: python3 missing, skipping topology gate" >&2
     fi
 fi
 

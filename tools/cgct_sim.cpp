@@ -45,11 +45,12 @@ printSummary(const RunResult &r)
                               : "(baseline: CGCT off)");
     std::printf("runtime             %llu cycles\n",
                 static_cast<unsigned long long>(r.cycles));
-    std::printf("instructions        %llu (IPC %.2f over 4 CPUs)\n",
+    std::printf("instructions        %llu (IPC %.2f over %u CPUs)\n",
                 static_cast<unsigned long long>(r.instructions),
                 r.cycles ? static_cast<double>(r.instructions) /
                                static_cast<double>(r.cycles)
-                         : 0.0);
+                         : 0.0,
+                r.nodes);
     std::printf("system requests     %llu = %llu broadcast + %llu direct "
                 "+ %llu local\n",
                 static_cast<unsigned long long>(r.requestsTotal),
@@ -65,6 +66,19 @@ printSummary(const RunResult &r)
     std::printf("broadcast traffic   %.0f avg / %.0f peak per 100K "
                 "cycles\n",
                 r.avgBroadcastsPer100k, r.peakBroadcastsPer100k);
+    if (r.topology != "bus") {
+        const std::uint64_t total = r.localResolves +
+                                    r.interChipBroadcasts;
+        std::printf("interconnect        %s, %u nodes: %llu local / %llu "
+                    "inter-chip (%.1f%% stayed on chip)\n",
+                    r.topology.c_str(), r.nodes,
+                    static_cast<unsigned long long>(r.localResolves),
+                    static_cast<unsigned long long>(
+                        r.interChipBroadcasts),
+                    total ? 100.0 * static_cast<double>(r.localResolves) /
+                                static_cast<double>(total)
+                          : 0.0);
+    }
     if (r.sampling) {
         const SamplingInfo &s = *r.sampling;
         std::printf("sampled             %llu windows x %llu ops, %s "
@@ -125,6 +139,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 20050609;
     std::uint64_t jobs = 0;
     std::uint64_t cpus = 4;
+    std::string topology = "bus";
     std::uint64_t rca_sets = 8192;
     bool json = false;
     bool stats = false;
@@ -167,6 +182,13 @@ main(int argc, char **argv)
                    "one RCA per chip shared by its cores (paper 3.2)");
     parser.addFlag("dma", &dma, "enable I/O-bridge DMA traffic");
     parser.addU64("cpus", &cpus, "number of processors");
+    parser.addU64("nodes", &cpus,
+                  "alias for --cpus (the sweep's spelling; "
+                  "docs/TOPOLOGY.md)");
+    parser.addString("topology", &topology,
+                     "interconnect organization: bus (flat broadcast), "
+                     "hier (two-level snoop hierarchy) or dir (full-map "
+                     "directory); see docs/TOPOLOGY.md");
     parser.addU64("ops", &ops, "memory operations per processor");
     parser.addU64("warmup", &warmup,
                   "warmup ops per processor (0 = ops/5)");
@@ -241,6 +263,11 @@ main(int argc, char **argv)
 
     SystemConfig config = makeDefaultConfig();
     config.topology.numCpus = static_cast<unsigned>(cpus);
+    if (!parseTopologyKind(topology, &config.interconnect.topology)) {
+        std::fprintf(stderr,
+                     "cgct_sim: --topology must be bus, hier or dir\n");
+        return 1;
+    }
     if (!baseline) {
         config = config.withCgct(region,
                                  static_cast<unsigned>(rca_sets), 2);

@@ -23,6 +23,7 @@
 
 #include "common/argparse.hpp"
 #include "common/config.hpp"
+#include "common/log.hpp"
 #include "sim/json_stats.hpp"
 #include "sim/sweep.hpp"
 #include "snapshot/journal.hpp"
@@ -76,6 +77,8 @@ main(int argc, char **argv)
     std::uint64_t window_ops = 1000;
     std::string warm_mode = "functional";
     std::uint64_t shards = 1;
+    std::uint64_t nodes = 4;
+    std::string topology = "bus";
 
     ArgParser parser("cgct_sweep",
                      "Run the benchmark x region-size matrix in parallel "
@@ -116,6 +119,14 @@ main(int argc, char **argv)
     parser.addU64("shards", &shards,
                   "bounded-lag PDES shards per simulation (docs/PDES.md); "
                   "rows are byte-identical at any count; 1 = sequential");
+    parser.addU64("nodes", &nodes,
+                  "processors per run (4, 16, 64, ... up to 64; "
+                  "docs/TOPOLOGY.md); non-default values append topology "
+                  "columns to the CSV");
+    parser.addString("topology", &topology,
+                     "interconnect organization: bus (flat broadcast), "
+                     "hier (two-level snoop hierarchy) or dir (full-map "
+                     "directory); see docs/TOPOLOGY.md");
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -150,6 +161,15 @@ main(int argc, char **argv)
     spec.opts.warmupOps = warmup ? warmup : ops / 5;
     spec.opts.shards = static_cast<unsigned>(shards);
     spec.baseConfig = makeDefaultConfig();
+    TopologyKind topo_kind = TopologyKind::Bus;
+    if (!parseTopologyKind(topology, &topo_kind)) {
+        std::fprintf(stderr,
+                     "cgct_sweep: --topology must be bus, hier or dir\n");
+        return 1;
+    }
+    spec.baseConfig.topology.numCpus = static_cast<unsigned>(nodes);
+    spec.baseConfig.interconnect.topology = topo_kind;
+    spec.baseConfig.validate();
     if (sample) {
         WarmMode wmode = WarmMode::Functional;
         if (!parseWarmMode(warm_mode, &wmode)) {
@@ -160,6 +180,12 @@ main(int argc, char **argv)
         // A sampled sweep draws its confidence interval from the
         // windows within one run, not from seed repetition: one cell
         // per (benchmark, region), first link of the usual seed chain.
+        if (seeds != 1)
+            warnOnce("sweep-sample-seeds", "cgct_sweep",
+                     "--seeds %llu ignored: --sample draws confidence "
+                     "from measurement windows, so each cell runs one "
+                     "seed (docs/SAMPLING.md)",
+                     static_cast<unsigned long long>(seeds));
         spec.seedsPerCell = 1;
         spec.sampled = true;
         spec.sampling.windows = sample;
@@ -230,12 +256,16 @@ main(int argc, char **argv)
     SweepOutcome outcome;
     if (format == "csv") {
         const bool sampled = spec.sampled;
-        writeSweepCsvHeader(std::cout, sampled);
+        // The historical 4-node flat-bus CSV stays byte-identical; any
+        // non-default --nodes/--topology appends the topology columns.
+        const bool topo_cols =
+            topo_kind != TopologyKind::Bus || nodes != 4;
+        writeSweepCsvHeader(std::cout, sampled, topo_cols);
         // Stream each row as soon as every earlier row is out.
         outcome = runner.runResumable(
             hooks,
-            [sampled](const SweepCell &, const RunResult &r) {
-                writeSweepCsvRow(std::cout, r, sampled);
+            [sampled, topo_cols](const SweepCell &, const RunResult &r) {
+                writeSweepCsvRow(std::cout, r, sampled, topo_cols);
                 std::cout.flush();
             },
             on_progress);

@@ -32,6 +32,13 @@
 #      the byte-identity contract, and the scaling bench + TSan preset,
 #      and be cross-linked from README.md, docs/SWEEP.md,
 #      docs/ARCHITECTURE.md, and docs/PERF.md.
+#  10. docs/TOPOLOGY.md must cover the scalable interconnects: the
+#      --nodes/--topology flags and all three topology names, the
+#      presence-filter escape rule and its trace events, the directory
+#      protocol, the invariant-checker extension, the fallback-warning
+#      contract, and the bench/baseline gating, and be cross-linked
+#      from README.md, docs/SWEEP.md, docs/ARCHITECTURE.md, and
+#      docs/TRACING.md.
 #
 # Run from anywhere:
 #
@@ -296,10 +303,43 @@ else
     done
 fi
 
+# Scalable-interconnect documentation: docs/TOPOLOGY.md is the design
+# contract for --nodes/--topology. It must cover the three topologies,
+# the presence-filter escape rule, the directory protocol, the
+# distance classes, the invariant and fallback-warning machinery, and
+# the CI gates that enforce the traffic baseline.
+topo_doc="$root/docs/TOPOLOGY.md"
+if [ ! -f "$topo_doc" ]; then
+    echo "check_docs: $topo_doc is missing" >&2
+    fail=1
+else
+    for token in --nodes --topology hier dir bus hier_escape \
+                 dir_lookup presence sharer resolveRequest \
+                 localSnoopLatency dirLookupLatency controllerOf \
+                 OwnChip SameSwitch SameBoard Remote check-invariants \
+                 corruptPresenceForTest corruptSharersForTest \
+                 test_topology topology_warn bench_topology \
+                 BENCH_topology.json CGCT_BENCH_TOPO_MIN_FRAC \
+                 local_resolves interchip_broadcasts; do
+        if ! grep -q -- "$token" "$topo_doc"; then
+            echo "check_docs: docs/TOPOLOGY.md does not mention $token" >&2
+            fail=1
+        fi
+    done
+    for ref in README.md docs/SWEEP.md docs/ARCHITECTURE.md \
+               docs/TRACING.md; do
+        if ! grep -q "TOPOLOGY.md" "$root/$ref"; then
+            echo "check_docs: $ref does not link to docs/TOPOLOGY.md" >&2
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED — update docs/SWEEP.md / docs/PERF.md /" \
          "docs/TRACING.md / docs/ARCHITECTURE.md / docs/SNAPSHOT.md /" \
-         "docs/TRACE_FORMAT.md / docs/SAMPLING.md / docs/PDES.md" >&2
+         "docs/TRACE_FORMAT.md / docs/SAMPLING.md / docs/PDES.md /" \
+         "docs/TOPOLOGY.md" >&2
     exit 1
 fi
 echo "check_docs: flags, perf targets, trace event and record types," \
